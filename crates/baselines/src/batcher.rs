@@ -1,0 +1,158 @@
+//! Batcher's odd-even merging and sorting networks \[2\] — the algorithm
+//! this paper generalizes. On the hypercube, "Batcher algorithm is a
+//! special case of our algorithm" (Section 5.3).
+
+use crate::network::ComparatorNetwork;
+
+/// Batcher's odd-even *merge* network over the line indices `idx`
+/// (a power-of-two count), assuming each half of `idx` carries a sorted
+/// sequence: returns the rounds that merge them.
+fn merge_rounds(idx: &[u32]) -> Vec<Vec<(u32, u32)>> {
+    match idx.len() {
+        0 | 1 => Vec::new(),
+        2 => vec![vec![(idx[0], idx[1])]],
+        len => {
+            let evens: Vec<u32> = idx.iter().copied().step_by(2).collect();
+            let odds: Vec<u32> = idx.iter().copied().skip(1).step_by(2).collect();
+            let re = merge_rounds(&evens);
+            let ro = merge_rounds(&odds);
+            // Even and odd sub-merges run in parallel: zip their rounds.
+            let mut rounds = zip_rounds(re, ro);
+            // Final cleanup: compare (1,2), (3,4), …
+            let mut last = Vec::with_capacity(len / 2 - 1);
+            let mut i = 1;
+            while i + 1 < len {
+                last.push((idx[i], idx[i + 1]));
+                i += 2;
+            }
+            rounds.push(last);
+            rounds
+        }
+    }
+}
+
+fn zip_rounds(a: Vec<Vec<(u32, u32)>>, b: Vec<Vec<(u32, u32)>>) -> Vec<Vec<(u32, u32)>> {
+    let depth = a.len().max(b.len());
+    let mut out = vec![Vec::new(); depth];
+    for (i, round) in a.into_iter().enumerate() {
+        out[i].extend(round);
+    }
+    for (i, round) in b.into_iter().enumerate() {
+        out[i].extend(round);
+    }
+    out
+}
+
+fn sort_rounds(idx: &[u32]) -> Vec<Vec<(u32, u32)>> {
+    if idx.len() <= 1 {
+        return Vec::new();
+    }
+    let (lo, hi) = idx.split_at(idx.len() / 2);
+    let rounds = zip_rounds(sort_rounds(lo), sort_rounds(hi));
+    let mut rounds = rounds;
+    rounds.extend(merge_rounds(idx));
+    rounds
+}
+
+/// Batcher's odd-even merge network for two sorted halves of `n = 2^t`
+/// lines. Depth `t`, size `(t-1)·2^{t-1} + 1`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two, `n ≥ 2`.
+#[must_use]
+pub fn odd_even_merge_network(n: usize) -> ComparatorNetwork {
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two ≥ 2"
+    );
+    let idx: Vec<u32> = (0..n as u32).collect();
+    ComparatorNetwork::new(n, merge_rounds(&idx))
+}
+
+/// Batcher's odd-even merge *sort* network for `n = 2^k` lines. Depth
+/// `k(k+1)/2`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+#[must_use]
+pub fn odd_even_merge_sort_network(n: usize) -> ComparatorNetwork {
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two ≥ 2"
+    );
+    let idx: Vec<u32> = (0..n as u32).collect();
+    ComparatorNetwork::new(n, sort_rounds(&idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_network_merges_sorted_halves() {
+        for t in 1..=4usize {
+            let n = 1 << t;
+            let net = odd_even_merge_network(n);
+            assert_eq!(net.depth(), t, "depth is log n");
+            // All two-sorted-halves 0/1 inputs: zeros counts (a, b).
+            for a in 0..=n / 2 {
+                for b in 0..=n / 2 {
+                    let mut keys: Vec<u8> = Vec::with_capacity(n);
+                    keys.extend(std::iter::repeat_n(0, a));
+                    keys.extend(std::iter::repeat_n(1, n / 2 - a));
+                    keys.extend(std::iter::repeat_n(0, b));
+                    keys.extend(std::iter::repeat_n(1, n / 2 - b));
+                    net.apply(&mut keys);
+                    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "n={n} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_network_is_a_sorting_network() {
+        for k in 1..=4usize {
+            let n = 1 << k;
+            let net = odd_even_merge_sort_network(n);
+            assert!(net.is_sorting_network(), "n={n}");
+            assert_eq!(net.depth(), k * (k + 1) / 2, "depth is k(k+1)/2");
+        }
+    }
+
+    #[test]
+    fn sort_network_size_matches_knuth_formula() {
+        // Knuth 5.3.4: odd-even merge sort of 2^k keys uses
+        // (k² - k + 4)·2^{k-2} - 1 comparators: 1, 5, 19, 63, 191, 543.
+        let expect = [1usize, 5, 19, 63, 191, 543];
+        for (k, &e) in (1..=6usize).zip(&expect) {
+            let net = odd_even_merge_sort_network(1 << k);
+            assert_eq!(net.size(), e, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sorts_random_permutations() {
+        let net = odd_even_merge_sort_network(32);
+        let mut state = 12345u64;
+        for _ in 0..50 {
+            let mut keys: Vec<u64> = (0..32)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    state >> 40
+                })
+                .collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            net.apply(&mut keys);
+            assert_eq!(keys, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = odd_even_merge_sort_network(6);
+    }
+}

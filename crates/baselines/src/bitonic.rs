@@ -1,0 +1,128 @@
+//! Batcher's bitonic sorting network and its hypercube schedule.
+//!
+//! Bitonic sort of `2^k` keys runs in `k(k+1)/2` rounds; in each round
+//! every comparator spans a single bit dimension, so the network maps to
+//! the `k`-dimensional hypercube with one compare-exchange step per round
+//! — the classic hypercube sorting benchmark the paper's `O(r²)` hypercube
+//! result is compared against.
+
+use crate::network::ComparatorNetwork;
+
+/// The bitonic sorting network for `n = 2^k` lines (ascending output).
+///
+/// Round structure: stages `i = 0 … k-1`; stage `i` runs dimensions
+/// `j = i, i-1, …, 0`. A comparator pairs `x` with `x | 1<<j` (for `x`
+/// with bit `j` clear); the minimum goes to the lower index iff bit
+/// `i + 1` of `x` is clear (ascending region), giving alternating
+/// monotonic runs that the next stage merges.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+#[must_use]
+pub fn bitonic_sort_network(n: usize) -> ComparatorNetwork {
+    let rounds = bitonic_rounds(n);
+    ComparatorNetwork::new(n, rounds.into_iter().map(|(_, r)| r).collect())
+}
+
+/// The same network with each round tagged by its bit dimension — the
+/// hypercube schedule: round `(j, comparators)` is one compare-exchange
+/// step across hypercube dimension `j`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+#[must_use]
+pub fn bitonic_hypercube_schedule(n: usize) -> Vec<(usize, Vec<(u32, u32)>)> {
+    bitonic_rounds(n)
+}
+
+fn bitonic_rounds(n: usize) -> Vec<(usize, Vec<(u32, u32)>)> {
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two ≥ 2"
+    );
+    let k = n.trailing_zeros() as usize;
+    let mut rounds = Vec::with_capacity(k * (k + 1) / 2);
+    for i in 0..k {
+        for j in (0..=i).rev() {
+            let mut round = Vec::with_capacity(n / 2);
+            for x in 0..n as u32 {
+                if x & (1 << j) != 0 {
+                    continue;
+                }
+                let y = x | (1 << j);
+                let ascending = (x >> (i + 1)) & 1 == 0;
+                round.push(if ascending { (x, y) } else { (y, x) });
+            }
+            rounds.push((j, round));
+        }
+    }
+    rounds
+}
+
+/// Number of compare-exchange rounds bitonic sort takes on the hypercube:
+/// `k(k+1)/2` for `2^k` keys.
+#[inline]
+#[must_use]
+pub fn bitonic_hypercube_steps(k: usize) -> u64 {
+    (k as u64) * (k as u64 + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitonic_is_a_sorting_network() {
+        for k in 1..=4usize {
+            let n = 1 << k;
+            let net = bitonic_sort_network(n);
+            assert!(net.is_sorting_network(), "n={n}");
+            assert_eq!(net.depth() as u64, bitonic_hypercube_steps(k));
+        }
+    }
+
+    #[test]
+    fn every_round_is_a_single_hypercube_dimension() {
+        for k in 1..=5usize {
+            let n = 1 << k;
+            for (j, round) in bitonic_hypercube_schedule(n) {
+                assert_eq!(round.len(), n / 2, "every node participates");
+                for &(a, b) in &round {
+                    assert_eq!(
+                        (a ^ b),
+                        1 << j,
+                        "comparator ({a},{b}) not along dimension {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_random_keys() {
+        let net = bitonic_sort_network(64);
+        let mut state = 99u64;
+        for _ in 0..30 {
+            let mut keys: Vec<u32> = (0..64)
+                .map(|i| {
+                    state = state.wrapping_mul(2862933555777941757).wrapping_add(i);
+                    (state >> 33) as u32
+                })
+                .collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            net.apply(&mut keys);
+            assert_eq!(keys, expect);
+        }
+    }
+
+    #[test]
+    fn descending_comparators_exist() {
+        // Sanity: the network genuinely uses both orientations.
+        let net = bitonic_sort_network(8);
+        let has_desc = net.rounds().iter().flatten().any(|&(a, b)| a > b);
+        assert!(has_desc);
+    }
+}

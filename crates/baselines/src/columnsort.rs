@@ -1,0 +1,235 @@
+//! Leighton's Columnsort \[20\] — the multiway-merge competitor the paper's
+//! introduction discusses: "ours outperforms Columnsort due to some
+//! fundamental differences … our algorithm is based on a series of merge
+//! processes recursively applied, while Columnsort is based on a series of
+//! sorting steps".
+//!
+//! Columnsort sorts `r × s` keys (matrix of `r`-entry columns, sorted
+//! output in column-major order) in eight phases — four full column-sort
+//! phases interleaved with four fixed permutations — provided
+//! `r ≥ 2(s-1)²` and `s | r`.
+
+use std::cmp::Ordering;
+
+/// Cost accounting for one Columnsort run, in the same "charged-unit"
+/// spirit as the paper's `S2`/routing units: each of the four column-sort
+/// phases is one parallel round of `r`-key sorts, and each of the four
+/// permutations is one routing phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnsortCost {
+    /// Parallel column-sort rounds (always 4).
+    pub sort_rounds: u64,
+    /// Fixed-permutation routing phases (always 4).
+    pub permute_rounds: u64,
+    /// Rows `r` (keys per column sort).
+    pub rows: usize,
+    /// Columns `s`.
+    pub cols: usize,
+}
+
+/// Keys padded with sentinels for the shift phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Padded<K> {
+    NegInf,
+    Key(K),
+    PosInf,
+}
+
+impl<K: Ord> PartialOrd for Padded<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for Padded<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Padded::{Key, NegInf, PosInf};
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Key(a), Key(b)) => a.cmp(b),
+        }
+    }
+}
+
+/// Sort `keys` with Columnsort on an `rows × cols` matrix (column-major
+/// layout and output), returning the sorted sequence and the cost.
+///
+/// # Panics
+///
+/// Panics unless `keys.len() == rows·cols`, `cols | rows`, and
+/// `rows ≥ 2(cols-1)²` (Leighton's validity condition).
+#[must_use]
+pub fn columnsort<K: Ord + Clone>(
+    keys: &[K],
+    rows: usize,
+    cols: usize,
+) -> (Vec<K>, ColumnsortCost) {
+    assert_eq!(keys.len(), rows * cols, "matrix shape mismatch");
+    assert!(cols >= 1 && rows >= 1);
+    assert_eq!(rows % cols, 0, "Columnsort requires s | r");
+    assert!(
+        rows >= 2 * (cols - 1) * (cols - 1),
+        "Columnsort requires r ≥ 2(s-1)² (r={rows}, s={cols})"
+    );
+
+    // Column-major storage: m[j*rows + i] = entry (row i, column j).
+    let mut m: Vec<K> = keys.to_vec();
+
+    // Phase 1: sort each column.
+    sort_columns(&mut m, rows);
+
+    // Phase 2: "transpose": pick up in row-major order, set down in
+    // column-major order (still r × s).
+    m = unpermute(&m, rows, cols, |i, j| i * cols + j);
+
+    // Phase 3.
+    sort_columns(&mut m, rows);
+
+    // Phase 4: untranspose (inverse of phase 2).
+    m = permute(&m, rows, cols, |i, j| i * cols + j);
+
+    // Phase 5.
+    sort_columns(&mut m, rows);
+
+    // Phases 6-8: shift the column-major stream forward by ⌊r/2⌋ into an
+    // r × (s+1) matrix padded with -∞ / +∞, sort its columns, unshift.
+    let h = rows / 2;
+    let mut padded: Vec<Padded<K>> = Vec::with_capacity(rows * (cols + 1));
+    padded.extend((0..h).map(|_| Padded::NegInf));
+    padded.extend(m.iter().cloned().map(Padded::Key));
+    padded.extend((0..rows - h).map(|_| Padded::PosInf));
+    sort_columns(&mut padded, rows);
+    let unshifted: Vec<K> = padded
+        .into_iter()
+        .skip(h)
+        .take(rows * cols)
+        .map(|p| match p {
+            Padded::Key(k) => k,
+            // After sorting, all -∞ sit in the first half-column and all
+            // +∞ in the last; the middle slice is real keys.
+            Padded::NegInf | Padded::PosInf => {
+                unreachable!("sentinels cannot appear among the keys")
+            }
+        })
+        .collect();
+
+    let cost = ColumnsortCost {
+        sort_rounds: 4,
+        permute_rounds: 4,
+        rows,
+        cols,
+    };
+    (unshifted, cost)
+}
+
+fn sort_columns<K: Ord>(m: &mut [K], rows: usize) {
+    for col in m.chunks_mut(rows) {
+        col.sort_unstable();
+    }
+}
+
+/// Apply the permutation: stream position `t` of the (column-major)
+/// output receives the entry whose (row, col) satisfies `pos(i, j) == t`.
+fn permute<K: Clone>(
+    m: &[K],
+    rows: usize,
+    cols: usize,
+    pos: impl Fn(usize, usize) -> usize,
+) -> Vec<K> {
+    let mut out = m.to_vec();
+    for j in 0..cols {
+        for i in 0..rows {
+            out[pos(i, j)] = m[j * rows + i].clone();
+        }
+    }
+    out
+}
+
+/// Inverse of [`permute`].
+fn unpermute<K: Clone>(
+    m: &[K],
+    rows: usize,
+    cols: usize,
+    pos: impl Fn(usize, usize) -> usize,
+) -> Vec<K> {
+    let mut out = m.to_vec();
+    for j in 0..cols {
+        for i in 0..rows {
+            out[j * rows + i] = m[pos(i, j)].clone();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rows: usize, cols: usize) {
+        let n = rows * cols;
+        let mut state = 5u64;
+        for _ in 0..10 {
+            let keys: Vec<u32> = (0..n)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i as u64);
+                    (state >> 35) as u32 % 1000
+                })
+                .collect();
+            let (sorted, cost) = columnsort(&keys, rows, cols);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, expect, "r={rows} s={cols}");
+            assert_eq!(cost.sort_rounds, 4);
+            assert_eq!(cost.permute_rounds, 4);
+        }
+    }
+
+    #[test]
+    fn sorts_valid_shapes() {
+        check(2, 1);
+        check(4, 2);
+        check(8, 2);
+        check(9, 3);
+        check(12, 3);
+        check(32, 4);
+        check(50, 5);
+    }
+
+    #[test]
+    fn zero_one_exhaustive_8x2() {
+        // Oblivious modulo correct column sorts: 0/1 exhaustive is a proof
+        // for this shape.
+        let (rows, cols) = (8usize, 2usize);
+        let n = rows * cols;
+        for mask in 0u32..(1 << n) {
+            let keys: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+            let (sorted, _) = columnsort(&keys, rows, cols);
+            assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "mask={mask:#x}");
+        }
+    }
+
+    #[test]
+    fn sorts_reverse_input() {
+        let keys: Vec<u32> = (0..144u32).rev().collect();
+        let (sorted, _) = columnsort(&keys, 48, 3);
+        assert_eq!(sorted, (0..144).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "r ≥ 2(s-1)²")]
+    fn rejects_too_flat_matrices() {
+        let keys: Vec<u32> = (0..16).collect();
+        let _ = columnsort(&keys, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "s | r")]
+    fn rejects_non_divisible_rows() {
+        let keys: Vec<u32> = (0..30).collect();
+        let _ = columnsort(&keys, 10, 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! Batcher's bitonic sort executed on the binary *de Bruijn* graph, with
+//! every data movement checked against real de Bruijn edges.
+//!
+//! §5.5 rests on "Sorting N² keys on the N²-node shuffle-exchange or
+//! de Bruijn networks can be done in O(log² n) time by Batcher algorithm
+//! \[31\]". [`crate::stone`] executes the algorithm on the
+//! shuffle-exchange graph; this module executes it on the de Bruijn graph
+//! `B(2, k)`:
+//!
+//! * a *shuffle* (rotate-left of the node label) moves the key from `v`
+//!   to `rotl(v) = (2v + topbit(v)) mod 2^k ∈ {2v, 2v+1} mod 2^k` — a
+//!   genuine de Bruijn edge, so one shuffle costs one step;
+//! * an *exchange* partner `v ^ 1` is **not** a de Bruijn neighbor, but
+//!   both `v = 2w + e` and `v ^ 1 = 2w + (1-e)` are out-neighbors of
+//!   `w = v >> 1`, so the compare routes through `w` in exactly two
+//!   conflict-free steps (each relay `w` serves exactly its own child
+//!   pair `(2w, 2w+1)`).
+//!
+//! Totals for `2^k` keys: `k²` shuffle steps + `2·k(k+1)/2` exchange
+//! steps = `O(log² n)`, measured, with every hop asserted to be an edge.
+
+use crate::stone::StoneCost;
+use pns_graph::factories;
+use pns_graph::Graph;
+
+/// Step counts of one de Bruijn bitonic sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeBruijnSortCost {
+    /// Shuffle steps (one per shuffle; each is a de Bruijn edge): `k²`.
+    pub shuffle_steps: u64,
+    /// Exchange steps (two per compare, routed via the shared parent):
+    /// `k(k+1)`.
+    pub exchange_steps: u64,
+}
+
+impl DeBruijnSortCost {
+    /// Total steps.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.shuffle_steps + self.exchange_steps
+    }
+
+    /// Closed form for `2^k` keys.
+    #[must_use]
+    pub fn predicted(k: usize) -> Self {
+        let stone = StoneCost::predicted(k);
+        DeBruijnSortCost {
+            shuffle_steps: stone.shuffle_steps,
+            exchange_steps: 2 * stone.compare_steps,
+        }
+    }
+}
+
+/// Sort `keys` (length `2^k`, indexed by de Bruijn node label) ascending
+/// by label, executing Stone's schedule with de Bruijn-legal moves only.
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two ≥ 2, or if any scheduled
+/// movement would not follow a de Bruijn edge (which would falsify the
+/// §5.5 emulation argument — it never fires).
+pub fn de_bruijn_sort<K: Ord + Clone>(keys: &mut [K]) -> DeBruijnSortCost {
+    let n = keys.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "length must be a power of two ≥ 2"
+    );
+    let k = n.trailing_zeros() as usize;
+    let mask = (n - 1) as u32;
+    let graph = factories::de_bruijn(k);
+    let rotl = |v: u32| ((v << 1) & mask) | (v >> (k - 1));
+    let rotr = |v: u32, s: usize| {
+        let s = s % k;
+        if s == 0 {
+            v
+        } else {
+            (v >> s) | ((v << (k - s)) & mask)
+        }
+    };
+    let assert_edge = |a: u32, b: u32, what: &str| {
+        assert!(
+            a == b || graph.has_edge(a, b),
+            "{what}: ({a}, {b}) is not a de Bruijn edge"
+        );
+    };
+
+    let mut cost = DeBruijnSortCost {
+        shuffle_steps: 0,
+        exchange_steps: 0,
+    };
+    let mut shuffles_done = 0usize;
+    let mut scratch: Vec<Option<K>> = vec![None; n];
+
+    for stage in 0..k {
+        for t in 1..=k {
+            // Shuffle round: key at v moves to rotl(v) — a de Bruijn edge.
+            for v in 0..n as u32 {
+                assert_edge(v, rotl(v), "shuffle");
+                scratch[rotl(v) as usize] = Some(keys[v as usize].clone());
+            }
+            for (dst, slot) in keys.iter_mut().zip(scratch.iter_mut()) {
+                *dst = slot.take().expect("shuffle is a permutation");
+            }
+            shuffles_done += 1;
+            cost.shuffle_steps += 1;
+
+            let dim = k - t;
+            if dim > stage {
+                continue;
+            }
+            // Exchange-compare: pair (2w, 2w+1) routes through w — two
+            // steps, both de Bruijn edges, one relay per pair.
+            for w in 0..(n / 2) as u32 {
+                let (v, u) = (2 * w, 2 * w + 1);
+                assert_edge(v, w, "exchange down");
+                assert_edge(u, w, "exchange down");
+                assert_edge(w, v, "exchange up");
+                assert_edge(w, u, "exchange up");
+                let lx = rotr(v, shuffles_done);
+                let ly = rotr(u, shuffles_done);
+                debug_assert_eq!(lx ^ ly, 1 << dim);
+                let (lo_node, lo_logical) = if lx < ly { (v, lx) } else { (u, ly) };
+                let hi_node = lo_node ^ 1;
+                let ascending = (lo_logical >> (stage + 1)) & 1 == 0;
+                let out_of_order = if ascending {
+                    keys[lo_node as usize] > keys[hi_node as usize]
+                } else {
+                    keys[lo_node as usize] < keys[hi_node as usize]
+                };
+                if out_of_order {
+                    keys.swap(lo_node as usize, hi_node as usize);
+                }
+            }
+            cost.exchange_steps += 2;
+        }
+    }
+    debug_assert_eq!(shuffles_done % k, 0);
+    cost
+}
+
+/// The de Bruijn graph the sorter runs on (exposed for callers that want
+/// to inspect or render it).
+#[must_use]
+pub fn network(k: usize) -> Graph {
+    factories::de_bruijn(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_costs_match_closed_form() {
+        for k in 1..=8usize {
+            let n = 1usize << k;
+            let mut keys: Vec<u32> = (0..n as u32).rev().collect();
+            let cost = de_bruijn_sort(&mut keys);
+            assert_eq!(keys, (0..n as u32).collect::<Vec<_>>(), "k={k}");
+            assert_eq!(cost, DeBruijnSortCost::predicted(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_one_exhaustive_small() {
+        for k in 1..=4usize {
+            let n = 1usize << k;
+            for mask in 0u32..(1 << n) {
+                let mut keys: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+                let _ = de_bruijn_sort(&mut keys);
+                assert!(
+                    keys.windows(2).all(|w| w[0] <= w[1]),
+                    "k={k} mask={mask:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_o_log_squared() {
+        let c = DeBruijnSortCost::predicted(10);
+        assert_eq!(c.shuffle_steps, 100);
+        assert_eq!(c.exchange_steps, 110);
+        assert_eq!(c.total(), 210);
+    }
+
+    #[test]
+    fn agrees_with_stone_on_the_data() {
+        // Same schedule, different network: results must be identical.
+        let mut a: Vec<u16> = (0..64).map(|i| (i * 37) % 64).collect();
+        let mut b = a.clone();
+        let _ = de_bruijn_sort(&mut a);
+        let _ = crate::stone::stone_sort(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_keys_with_duplicates() {
+        let mut state = 17u64;
+        for k in [5usize, 7] {
+            let n = 1usize << k;
+            let mut keys: Vec<u8> = (0..n)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i as u64);
+                    (state >> 56) as u8 % 13
+                })
+                .collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            let _ = de_bruijn_sort(&mut keys);
+            assert_eq!(keys, expect, "k={k}");
+        }
+    }
+}

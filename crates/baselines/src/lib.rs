@@ -1,0 +1,36 @@
+//! Baseline sorting algorithms the paper builds on or compares against.
+//!
+//! * [`network`] — a comparator-network framework (size, depth, zero-one
+//!   validation): the common substrate of everything Batcher-derived.
+//! * [`batcher`] — Batcher's odd-even merging networks and the odd-even
+//!   merge sort \[2\], of which the paper's algorithm is the generalization
+//!   (and, on the hypercube, a special case).
+//! * [`bitonic`] — Batcher's other network: bitonic sort, plus its
+//!   canonical hypercube schedule (one bit-dimension per round,
+//!   `k(k+1)/2` rounds for `2^k` keys).
+//! * [`stone`] — Stone's realization of bitonic sort on the
+//!   shuffle-exchange network \[31\], used by §5.5 for products of de Bruijn
+//!   and shuffle-exchange graphs.
+//! * [`columnsort`](mod@columnsort) — Leighton's Columnsort \[20\], the multiway competitor
+//!   discussed in the introduction.
+//! * [`debruijn`] — the same bitonic schedule executed on the *de Bruijn*
+//!   graph with every hop checked against real edges (§5.5's other
+//!   network).
+//! * [`mesh`] — mesh baselines: odd-even transposition sort on the linear
+//!   array and shearsort on the 2-D mesh (snake order).
+
+pub mod batcher;
+pub mod bitonic;
+pub mod columnsort;
+pub mod debruijn;
+pub mod mesh;
+pub mod network;
+pub mod stone;
+
+pub use batcher::{odd_even_merge_network, odd_even_merge_sort_network};
+pub use bitonic::{bitonic_hypercube_schedule, bitonic_sort_network};
+pub use columnsort::{columnsort, ColumnsortCost};
+pub use debruijn::{de_bruijn_sort, DeBruijnSortCost};
+pub use mesh::{oet_sort_rounds, shearsort_mesh, shearsort_steps};
+pub use network::ComparatorNetwork;
+pub use stone::{stone_sort, StoneCost};

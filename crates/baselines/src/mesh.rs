@@ -1,0 +1,182 @@
+//! Mesh baselines: odd-even transposition on the linear array and
+//! shearsort on the two-dimensional mesh (snake order).
+//!
+//! These are the standalone versions of the building blocks the simulator
+//! uses as executable `PG_2` sorters, with their exact step counts — the
+//! practical stand-ins for the Schnorr–Shamir `3N + o(N)` sorter whose
+//! constant the charged cost models cite.
+
+/// Odd-even transposition sort on a linear array of `n` keys: exactly `n`
+/// compare-exchange rounds. Returns the number of rounds (always `n`).
+pub fn oet_sort_rounds<K: Ord>(keys: &mut [K]) -> u64 {
+    let n = keys.len();
+    for round in 0..n {
+        let mut i = round % 2;
+        while i + 1 < n {
+            if keys[i] > keys[i + 1] {
+                keys.swap(i, i + 1);
+            }
+            i += 2;
+        }
+    }
+    n as u64
+}
+
+/// Exact step count of [`shearsort_mesh`] for an `n × n` mesh:
+/// `n · (2⌈log₂ n⌉ + 1)` compare-exchange rounds.
+#[must_use]
+pub fn shearsort_steps(n: usize) -> u64 {
+    let phases = if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
+    };
+    n as u64 * (2 * phases.max(1) + 1)
+}
+
+/// Shearsort an `n × n` mesh into *snake order*: `keys[i*n + j]` is the
+/// entry at row `i`, column `j`; on return, reading row 0 left-to-right,
+/// row 1 right-to-left, … gives a nondecreasing sequence. Returns the
+/// number of compare-exchange rounds ([`shearsort_steps`]).
+pub fn shearsort_mesh<K: Ord>(keys: &mut [K], n: usize) -> u64 {
+    assert_eq!(keys.len(), n * n, "keys must fill the mesh");
+    let phases = if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+    .max(1);
+    let mut steps = 0u64;
+    for _ in 0..phases {
+        steps += row_phase(keys, n);
+        steps += col_phase(keys, n);
+    }
+    steps += row_phase(keys, n);
+    debug_assert_eq!(steps, shearsort_steps(n));
+    steps
+}
+
+/// Sort every row in its boustrophedon direction (row `i` ascending
+/// left-to-right iff `i` is even) with `n` OET rounds.
+fn row_phase<K: Ord>(keys: &mut [K], n: usize) -> u64 {
+    for round in 0..n {
+        let parity = round % 2;
+        for i in 0..n {
+            let asc = i % 2 == 0;
+            let mut j = parity;
+            while j + 1 < n {
+                let (a, b) = (i * n + j, i * n + j + 1);
+                let bad = if asc {
+                    keys[a] > keys[b]
+                } else {
+                    keys[a] < keys[b]
+                };
+                if bad {
+                    keys.swap(a, b);
+                }
+                j += 2;
+            }
+        }
+    }
+    n as u64
+}
+
+/// Sort every column top-to-bottom ascending with `n` OET rounds.
+fn col_phase<K: Ord>(keys: &mut [K], n: usize) -> u64 {
+    for round in 0..n {
+        let parity = round % 2;
+        for j in 0..n {
+            let mut i = parity;
+            while i + 1 < n {
+                let (a, b) = (i * n + j, (i + 1) * n + j);
+                if keys[a] > keys[b] {
+                    keys.swap(a, b);
+                }
+                i += 2;
+            }
+        }
+    }
+    n as u64
+}
+
+/// Read a mesh configuration in snake order.
+#[must_use]
+pub fn read_mesh_snake<K: Clone>(keys: &[K], n: usize) -> Vec<K> {
+    let mut out = Vec::with_capacity(n * n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            out.extend(keys[i * n..(i + 1) * n].iter().cloned());
+        } else {
+            out.extend(keys[i * n..(i + 1) * n].iter().rev().cloned());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oet_sorts_and_costs_n() {
+        let mut keys = vec![5, 3, 8, 1, 9, 2, 7];
+        let rounds = oet_sort_rounds(&mut keys);
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+        assert_eq!(rounds, 7);
+    }
+
+    #[test]
+    fn shearsort_sorts_into_snake_order() {
+        for n in [2usize, 3, 4, 5, 8] {
+            let len = n * n;
+            let mut keys: Vec<u32> = (0..len as u32).rev().collect();
+            let steps = shearsort_mesh(&mut keys, n);
+            assert_eq!(steps, shearsort_steps(n));
+            let snake = read_mesh_snake(&keys, n);
+            assert_eq!(snake, (0..len as u32).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shearsort_zero_one_exhaustive_3x3() {
+        for mask in 0u32..(1 << 9) {
+            let mut keys: Vec<u8> = (0..9).map(|i| ((mask >> i) & 1) as u8).collect();
+            let _ = shearsort_mesh(&mut keys, 3);
+            let snake = read_mesh_snake(&keys, 3);
+            assert!(snake.windows(2).all(|w| w[0] <= w[1]), "mask={mask:#b}");
+        }
+    }
+
+    #[test]
+    fn shearsort_steps_formula() {
+        assert_eq!(shearsort_steps(2), 2 * 3); // ⌈log 2⌉ = 1
+        assert_eq!(shearsort_steps(4), 4 * 5); // ⌈log 4⌉ = 2
+        assert_eq!(shearsort_steps(5), 5 * 7); // ⌈log 5⌉ = 3
+        assert_eq!(shearsort_steps(16), 16 * 9);
+    }
+
+    #[test]
+    fn shearsort_is_o_n_log_n_vs_oet_n_squared() {
+        // The comparison the paper's S2 choice cares about: for large N,
+        // shearsort's N(2 log N + 1) beats OET's N².
+        for n in [16usize, 64, 256] {
+            assert!(shearsort_steps(n) < (n * n) as u64);
+        }
+    }
+
+    #[test]
+    fn random_keys_with_duplicates() {
+        let n = 6;
+        let mut state = 1u64;
+        let mut keys: Vec<u8> = (0..36)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
+                (state >> 59) as u8
+            })
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        shearsort_mesh(&mut keys, n);
+        assert_eq!(read_mesh_snake(&keys, n), expect);
+    }
+}

@@ -1,0 +1,166 @@
+//! Comparator networks: the oblivious-sorting substrate.
+//!
+//! A comparator network over `n` lines is a sequence of *rounds*; each
+//! round is a set of disjoint comparators `(a, b)` that place the minimum
+//! on line `a` and the maximum on line `b` (for bitonic networks `a > b`
+//! comparators occur). Networks are oblivious, so the zero-one principle
+//! (Knuth; the paper's correctness tool) applies: a network sorts
+//! everything iff it sorts all `2^n` zero-one inputs.
+
+/// A comparator network grouped into parallel rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparatorNetwork {
+    n: usize,
+    rounds: Vec<Vec<(u32, u32)>>,
+}
+
+impl ComparatorNetwork {
+    /// Build from rounds, validating ranges, ordering and per-round
+    /// disjointness.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input.
+    #[must_use]
+    pub fn new(n: usize, rounds: Vec<Vec<(u32, u32)>>) -> Self {
+        for (ri, round) in rounds.iter().enumerate() {
+            let mut used = vec![false; n];
+            for &(i, j) in round {
+                assert!(i != j, "round {ri}: degenerate comparator ({i},{j})");
+                assert!(
+                    (i as usize) < n && (j as usize) < n,
+                    "round {ri}: comparator ({i},{j}) out of range"
+                );
+                for v in [i, j] {
+                    assert!(!used[v as usize], "round {ri}: line {v} reused");
+                    used[v as usize] = true;
+                }
+            }
+        }
+        ComparatorNetwork { n, rounds }
+    }
+
+    /// Number of lines.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.n
+    }
+
+    /// Depth (number of parallel rounds).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Size (total number of comparators).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// The rounds.
+    #[must_use]
+    pub fn rounds(&self) -> &[Vec<(u32, u32)>] {
+        &self.rounds
+    }
+
+    /// Apply the network to `keys` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != lines()`.
+    pub fn apply<K: Ord>(&self, keys: &mut [K]) {
+        assert_eq!(keys.len(), self.n);
+        for round in &self.rounds {
+            for &(i, j) in round {
+                if keys[i as usize] > keys[j as usize] {
+                    keys.swap(i as usize, j as usize);
+                }
+            }
+        }
+    }
+
+    /// Exhaustive zero-one validation (feasible for `n ≤ ~22`).
+    #[must_use]
+    pub fn is_sorting_network(&self) -> bool {
+        assert!(self.n <= 22, "exhaustive check is exponential in n");
+        for mask in 0u64..(1 << self.n) {
+            let mut keys: Vec<u8> = (0..self.n).map(|i| ((mask >> i) & 1) as u8).collect();
+            self.apply(&mut keys);
+            if !keys.windows(2).all(|w| w[0] <= w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Concatenate another network (runs after this one).
+    #[must_use]
+    pub fn then(mut self, other: ComparatorNetwork) -> ComparatorNetwork {
+        assert_eq!(self.n, other.n, "line counts must match");
+        self.rounds.extend(other.rounds);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_sorter() -> ComparatorNetwork {
+        ComparatorNetwork::new(3, vec![vec![(0, 1)], vec![(1, 2)], vec![(0, 1)]])
+    }
+
+    #[test]
+    fn three_line_sorter_sorts() {
+        let net = three_sorter();
+        assert_eq!(net.depth(), 3);
+        assert_eq!(net.size(), 3);
+        assert!(net.is_sorting_network());
+        let mut keys = vec![3, 1, 2];
+        net.apply(&mut keys);
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn incomplete_network_is_detected() {
+        // Only one comparator: cannot sort 3 lines.
+        let net = ComparatorNetwork::new(3, vec![vec![(0, 1)]]);
+        assert!(!net.is_sorting_network());
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = ComparatorNetwork::new(3, vec![vec![(0, 1)]]);
+        let b = ComparatorNetwork::new(3, vec![vec![(1, 2)], vec![(0, 1)]]);
+        let c = a.then(b);
+        assert_eq!(c.depth(), 3);
+        assert!(c.is_sorting_network());
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn rejects_overlap_within_round() {
+        let _ = ComparatorNetwork::new(3, vec![vec![(0, 1), (1, 2)]]);
+    }
+
+    #[test]
+    fn reversed_comparator_places_min_on_first_line() {
+        let net = ComparatorNetwork::new(2, vec![vec![(1, 0)]]);
+        let mut keys = vec![1, 5];
+        net.apply(&mut keys);
+        assert_eq!(keys, vec![5, 1], "min moved to line 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_degenerate_comparators() {
+        let _ = ComparatorNetwork::new(3, vec![vec![(1, 1)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = ComparatorNetwork::new(2, vec![vec![(0, 5)]]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Stone's bitonic sort on the shuffle-exchange network \[31\].
+//!
+//! Section 5.5 rests on this algorithm: sorting `n = 2^k` keys on the
+//! `n`-node shuffle-exchange graph in `O(log² n)` steps. Data moves only
+//! along *shuffle* edges (cyclic left rotation of the node label) and
+//! compares only across *exchange* edges (flip of the lowest label bit).
+//!
+//! After `S` shuffles, the key that started at logical index `x` sits at
+//! node `rotl_S(x)`, so the exchange edge compares logical indices
+//! differing in bit `(-S) mod k`. One pass of `k` shuffles therefore makes
+//! dimensions `k-1, k-2, …, 0` available in exactly the order the bitonic
+//! stages need them; stage `i` uses the last `i + 1` of its pass.
+//! Totals: `k²` shuffle steps and `k(k+1)/2` compare steps.
+
+/// Step counts of one Stone sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoneCost {
+    /// Shuffle (routing) steps: `k²`.
+    pub shuffle_steps: u64,
+    /// Compare-exchange steps: `k(k+1)/2`.
+    pub compare_steps: u64,
+}
+
+impl StoneCost {
+    /// Total steps.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.shuffle_steps + self.compare_steps
+    }
+
+    /// The closed forms for `2^k` keys.
+    #[must_use]
+    pub fn predicted(k: usize) -> Self {
+        let k = k as u64;
+        StoneCost {
+            shuffle_steps: k * k,
+            compare_steps: k * (k + 1) / 2,
+        }
+    }
+}
+
+/// Sort `keys` (length `2^k`, indexed by shuffle-exchange node label) in
+/// place, ascending by node label, simulating the physical data movement.
+///
+/// ```
+/// use pns_baselines::stone::{stone_sort, StoneCost};
+///
+/// let mut keys: Vec<u32> = (0..16).rev().collect();
+/// let cost = stone_sort(&mut keys);
+/// assert_eq!(keys, (0..16).collect::<Vec<u32>>());
+/// assert_eq!(cost, StoneCost::predicted(4)); // 16 shuffles + 10 compares
+/// ```
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two ≥ 2.
+pub fn stone_sort<K: Ord + Clone>(keys: &mut [K]) -> StoneCost {
+    let n = keys.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "length must be a power of two ≥ 2"
+    );
+    let k = n.trailing_zeros() as usize;
+    let mask = (n - 1) as u32;
+    let rotl = |v: u32| ((v << 1) & mask) | (v >> (k - 1));
+    let rotr = |v: u32, s: usize| {
+        let s = s % k;
+        if s == 0 {
+            v
+        } else {
+            (v >> s) | ((v << (k - s)) & mask)
+        }
+    };
+
+    let mut cost = StoneCost {
+        shuffle_steps: 0,
+        compare_steps: 0,
+    };
+    let mut shuffles_done = 0usize;
+    let mut scratch: Vec<Option<K>> = vec![None; n];
+
+    for stage in 0..k {
+        for t in 1..=k {
+            // Shuffle: the key at node v moves to node rotl(v).
+            for v in 0..n as u32 {
+                scratch[rotl(v) as usize] = Some(keys[v as usize].clone());
+            }
+            for (dst, slot) in keys.iter_mut().zip(scratch.iter_mut()) {
+                *dst = slot.take().expect("shuffle is a permutation");
+            }
+            shuffles_done += 1;
+            cost.shuffle_steps += 1;
+
+            // The exchange edge now compares logical dimension k - t.
+            let dim = k - t;
+            if dim > stage {
+                continue;
+            }
+            for v in (0..n as u32).step_by(2) {
+                let w = v | 1;
+                let lx = rotr(v, shuffles_done);
+                let ly = rotr(w, shuffles_done);
+                debug_assert_eq!(lx ^ ly, 1 << dim, "exchange spans logical dim {dim}");
+                // Node holding the lower logical index.
+                let (lo_node, lo_logical) = if lx < ly { (v, lx) } else { (w, ly) };
+                let hi_node = lo_node ^ 1;
+                let ascending = (lo_logical >> (stage + 1)) & 1 == 0;
+                let out_of_order = if ascending {
+                    keys[lo_node as usize] > keys[hi_node as usize]
+                } else {
+                    keys[lo_node as usize] < keys[hi_node as usize]
+                };
+                if out_of_order {
+                    keys.swap(lo_node as usize, hi_node as usize);
+                }
+            }
+            cost.compare_steps += 1;
+        }
+    }
+    debug_assert_eq!(shuffles_done % k, 0, "labels return to logical order");
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_reversed_input() {
+        for k in 1..=8usize {
+            let n = 1usize << k;
+            let mut keys: Vec<u32> = (0..n as u32).rev().collect();
+            let cost = stone_sort(&mut keys);
+            assert_eq!(keys, (0..n as u32).collect::<Vec<_>>(), "k={k}");
+            assert_eq!(cost, StoneCost::predicted(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_one_exhaustive_small() {
+        for k in 1..=4usize {
+            let n = 1usize << k;
+            for mask in 0u32..(1 << n) {
+                let mut keys: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+                let _ = stone_sort(&mut keys);
+                assert!(
+                    keys.windows(2).all(|w| w[0] <= w[1]),
+                    "k={k} mask={mask:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_random_keys_with_duplicates() {
+        let mut state = 7u64;
+        for k in [5usize, 7] {
+            let n = 1usize << k;
+            let mut keys: Vec<u8> = (0..n)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i as u64);
+                    (state >> 56) as u8 % 17
+                })
+                .collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            let _ = stone_sort(&mut keys);
+            assert_eq!(keys, expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cost_is_quadratic_in_k() {
+        let c = StoneCost::predicted(10);
+        assert_eq!(c.shuffle_steps, 100);
+        assert_eq!(c.compare_steps, 55);
+        assert_eq!(c.total(), 155);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_lengths() {
+        let mut keys = vec![3u8, 1, 2];
+        let _ = stone_sort(&mut keys);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the baseline sorters.
+
+use pns_baselines::mesh::{oet_sort_rounds, read_mesh_snake, shearsort_mesh, shearsort_steps};
+use pns_baselines::stone::{stone_sort, StoneCost};
+use pns_baselines::{bitonic_sort_network, columnsort, odd_even_merge_sort_network};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn odd_even_merge_sort_network_sorts(k in 1usize..7, keys_seed in any::<u64>()) {
+        let n = 1usize << k;
+        let net = odd_even_merge_sort_network(n);
+        prop_assert_eq!(net.depth(), k * (k + 1) / 2);
+        let mut state = keys_seed;
+        let mut keys: Vec<u32> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 35) as u32 % 500
+            })
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        net.apply(&mut keys);
+        prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn bitonic_network_sorts(k in 1usize..7, keys_seed in any::<u64>()) {
+        let n = 1usize << k;
+        let net = bitonic_sort_network(n);
+        let mut state = keys_seed;
+        let mut keys: Vec<u32> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 35) as u32 % 500
+            })
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        net.apply(&mut keys);
+        prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn stone_cost_matches_prediction(k in 1usize..10, seed in any::<u64>()) {
+        let n = 1usize << k;
+        let mut state = seed;
+        let mut keys: Vec<u32> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 35) as u32
+            })
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let cost = stone_sort(&mut keys);
+        prop_assert_eq!(keys, expect);
+        prop_assert_eq!(cost, StoneCost::predicted(k));
+    }
+
+    #[test]
+    fn columnsort_sorts_valid_shapes(cols in 1usize..6, mult in 1usize..4, seed in any::<u64>()) {
+        let min_rows = (2 * (cols.saturating_sub(1)).pow(2)).max(1);
+        let rows = min_rows.next_multiple_of(cols) * mult;
+        let len = rows * cols;
+        prop_assume!(len <= 4096);
+        let mut state = seed;
+        let keys: Vec<u32> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 35) as u32 % 777
+            })
+            .collect();
+        let (sorted, cost) = columnsort(&keys, rows, cols);
+        let mut expect = keys;
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+        prop_assert_eq!(cost.sort_rounds, 4);
+    }
+
+    #[test]
+    fn oet_sorts_any_slice(keys in proptest::collection::vec(0u16..100, 1..64)) {
+        let mut keys = keys;
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let rounds = oet_sort_rounds(&mut keys);
+        prop_assert_eq!(rounds as usize, keys.len());
+        prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn shearsort_sorts_meshes(n in 2usize..10, seed in any::<u64>()) {
+        let len = n * n;
+        let mut state = seed;
+        let mut keys: Vec<u16> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 48) as u16 % 97
+            })
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let steps = shearsort_mesh(&mut keys, n);
+        prop_assert_eq!(steps, shearsort_steps(n));
+        prop_assert_eq!(read_mesh_snake(&keys, n), expect);
+    }
+}

@@ -1,0 +1,66 @@
+//! Wall-clock benches of the baseline networks (E14): Batcher's odd-even
+//! merge sort, bitonic sort, Stone's shuffle-exchange realization, and
+//! mesh shearsort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pns_baselines::mesh::shearsort_mesh;
+use pns_baselines::stone::stone_sort;
+use pns_baselines::{bitonic_sort_network, odd_even_merge_sort_network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_keys(len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(0..1_000_000)).collect()
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparator_networks");
+    for k in [8usize, 10] {
+        let n = 1 << k;
+        let keys = random_keys(n, 1);
+        let oem = odd_even_merge_sort_network(n);
+        let bit = bitonic_sort_network(n);
+        group.bench_with_input(BenchmarkId::new("odd_even_merge", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                oem.apply(&mut v);
+                black_box(v)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bitonic", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                bit.apply(&mut v);
+                black_box(v)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stone_se", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                black_box(stone_sort(&mut v));
+                black_box(v)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shearsort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_shearsort");
+    for n in [16usize, 32] {
+        let keys = random_keys(n * n, 2);
+        group.bench_with_input(BenchmarkId::new("shearsort", n * n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                black_box(shearsort_mesh(&mut v, n));
+                black_box(v)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks, bench_shearsort);
+criterion_main!(benches);

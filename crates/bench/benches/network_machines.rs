@@ -1,0 +1,93 @@
+//! Wall-clock benches of the network simulator (E14): charged machines
+//! across the Section 5 networks (grid, hypercube, torus, Petersen,
+//! de Bruijn) and the executed engine on grid and hypercube.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pns_graph::factories;
+use pns_simulator::{CostModel, Hypercube2Sorter, Machine, ShearSorter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_keys(len: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(0..1_000_000)).collect()
+}
+
+fn bench_charged_machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("charged_machine");
+    let cases: Vec<(&str, pns_graph::Graph, usize, CostModel)> = vec![
+        (
+            "grid_16x16x16",
+            factories::path(16),
+            3,
+            CostModel::paper_grid(16),
+        ),
+        (
+            "torus_16^3",
+            factories::cycle(16),
+            3,
+            CostModel::paper_torus(16),
+        ),
+        (
+            "hypercube_r12",
+            factories::k2(),
+            12,
+            CostModel::paper_hypercube(),
+        ),
+        (
+            "petersen_sq",
+            factories::petersen(),
+            3,
+            CostModel::paper_petersen(),
+        ),
+        (
+            "debruijn_8^3",
+            factories::de_bruijn(3),
+            3,
+            CostModel::paper_de_bruijn(3),
+        ),
+    ];
+    for (name, factor, r, model) in cases {
+        let len = (factor.n() as u64).pow(r as u32);
+        let keys = random_keys(len, 5);
+        group.bench_with_input(BenchmarkId::new("sort", name), &keys, |b, keys| {
+            b.iter(|| {
+                let mut m = Machine::charged(&factor, r, model.clone());
+                let rep = m.sort(black_box(keys.clone())).expect("key count");
+                black_box(rep.steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_executed_machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executed_machine");
+    {
+        let factor = factories::path(8);
+        let keys = random_keys(512, 9);
+        group.bench_function("grid_shearsort_8^3", |b| {
+            b.iter(|| {
+                let mut m = Machine::executed(&factor, 3, &ShearSorter);
+                let rep = m.sort(black_box(keys.clone())).expect("key count");
+                black_box(rep.steps())
+            });
+        });
+    }
+    {
+        let factor = factories::k2();
+        let keys = random_keys(1024, 10);
+        group.bench_function("hypercube_3step_r10", |b| {
+            b.iter(|| {
+                let mut m = Machine::executed(&factor, 10, &Hypercube2Sorter);
+                let rep = m.sort(black_box(keys.clone())).expect("key count");
+                black_box(rep.steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_charged_machines, bench_executed_machines);
+criterion_main!(benches);

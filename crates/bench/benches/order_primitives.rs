@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the order machinery hot paths: the rank/position
+//! bijections the simulator evaluates millions of times per sort, and
+//! BSP compilation/execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pns_graph::factories;
+use pns_order::radix::Shape;
+use pns_order::snake::{node_at_snake_pos, snake_pos_of_node};
+use pns_order::{gray_rank, gray_unrank};
+use pns_simulator::bsp::{compile, BspMachine};
+use pns_simulator::ShearSorter;
+use std::hint::black_box;
+
+fn bench_bijections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_bijections");
+    for (n, r) in [(4usize, 8usize), (16, 5)] {
+        let shape = Shape::new(n, r);
+        let len = shape.len();
+        group.bench_with_input(
+            BenchmarkId::new("snake_pos_of_node", format!("N{n}_r{r}")),
+            &shape,
+            |b, &shape| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for v in (0..len).step_by(7) {
+                        acc ^= snake_pos_of_node(shape, black_box(v));
+                    }
+                    acc
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("node_at_snake_pos", format!("N{n}_r{r}")),
+            &shape,
+            |b, &shape| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for p in (0..len).step_by(7) {
+                        acc ^= node_at_snake_pos(shape, black_box(p));
+                    }
+                    acc
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gray_roundtrip", format!("N{n}_r{r}")),
+            &(n, r),
+            |b, &(n, r)| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for m in (0..len).step_by(7) {
+                        let d = gray_unrank(n, r, black_box(m));
+                        acc ^= gray_rank(n, &d);
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp");
+    let factor = factories::path(8);
+    group.bench_function("compile_grid_8^2", |b| {
+        b.iter(|| black_box(compile(&factor, 2, &ShearSorter)));
+    });
+    let program = compile(&factor, 2, &ShearSorter);
+    let machine = BspMachine::new(&factor, 2);
+    let keys: Vec<u64> = (0..64).rev().collect();
+    group.bench_function("run_grid_8^2", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(machine.run(&mut k, &program))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bijections, bench_bsp);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Wall-clock benches of the sequence-level algorithm (E14): the
+//! generalized multiway-merge sort against std sort and Columnsort on the
+//! same key counts, plus the merge primitive alone.
+//!
+//! These are throughput sanity checks for the implementation, not claims
+//! about the paper's step model (which the experiment bins measure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pns_baselines::columnsort;
+use pns_core::{multiway_merge, multiway_merge_sort, Counters, StdBaseSorter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_keys(len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(0..1_000_000)).collect()
+}
+
+fn bench_full_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequence_sort");
+    for (n, r) in [(3usize, 8usize), (4, 6), (8, 4)] {
+        let len = n.pow(r as u32);
+        let keys = random_keys(len, 11);
+        group.bench_with_input(
+            BenchmarkId::new("multiway_merge_sort", format!("N{n}_r{r}_{len}")),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let (out, _) = multiway_merge_sort(black_box(keys), n, &StdBaseSorter);
+                    black_box(out)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("std_sort_unstable", format!("N{n}_r{r}_{len}")),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut v = keys.clone();
+                    v.sort_unstable();
+                    black_box(v)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_merge_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiway_merge");
+    for (n, k) in [(3usize, 5usize), (4, 4)] {
+        let m = n.pow(k as u32 - 1);
+        let inputs: Vec<Vec<u64>> = (0..n)
+            .map(|u| {
+                let mut v = random_keys(m, u as u64);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("merge", format!("N{n}_k{k}")),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let mut counters = Counters::new();
+                    black_box(multiway_merge(
+                        black_box(inputs),
+                        &StdBaseSorter,
+                        &mut counters,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_vs_columnsort(c: &mut Criterion) {
+    // E12 wall-clock companion: same keys through both algorithms.
+    let mut group = c.benchmark_group("vs_columnsort");
+    let keys = random_keys(4096, 3);
+    group.bench_function("multiway_merge_sort_4096_N4", |b| {
+        b.iter(|| {
+            let (out, _) = multiway_merge_sort(black_box(&keys), 4, &StdBaseSorter);
+            black_box(out)
+        });
+    });
+    group.bench_function("columnsort_4096_512x8", |b| {
+        b.iter(|| {
+            let (out, _) = columnsort(black_box(&keys), 512, 8);
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_sort,
+    bench_merge_primitive,
+    bench_vs_columnsort
+);
+criterion_main!(benches);

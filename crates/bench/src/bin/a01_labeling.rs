@@ -1,0 +1,7 @@
+//! Experiment binary: prints the a01_labeling report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::a01_labeling::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

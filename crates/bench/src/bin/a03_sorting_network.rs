@@ -1,0 +1,7 @@
+//! Experiment binary: prints the a03_sorting_network report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::a03_sorting_network::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

@@ -1,0 +1,29 @@
+//! Run every experiment in index order and print the combined Markdown —
+//! the source of EXPERIMENTS.md. Pass `--json <path>` to also archive the
+//! reports as a JSON array.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut reports = Vec::new();
+    let mut any_mismatch = false;
+    for (id, run) in pns_bench::all_experiments() {
+        let report = run();
+        println!("{}", report.to_markdown());
+        if !report.all_match {
+            eprintln!("MISMATCH in {id}");
+            any_mismatch = true;
+        }
+        reports.push(report);
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        std::fs::write(&path, json).expect("write JSON archive");
+        eprintln!("wrote {path}");
+    }
+    assert!(!any_mismatch, "at least one experiment reported a mismatch");
+}

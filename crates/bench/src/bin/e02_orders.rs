@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e02_orders report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::e02_orders::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e07_grid report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::e07_grid::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

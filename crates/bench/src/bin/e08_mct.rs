@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e08_mct report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::e08_mct::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

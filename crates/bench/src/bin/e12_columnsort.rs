@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e12_columnsort report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::e12_columnsort::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

@@ -1,0 +1,140 @@
+//! E07 — §5.1 Grid: with Schnorr–Shamir's `S2 = 3N` and `R = N - 1`,
+//! sorting `N^r` keys on the r-dimensional grid takes at most
+//! `4(r-1)²N + o(r²N)` steps; for fixed `r` that is `O(N)`, which is
+//! asymptotically optimal (diameter `r(N-1)`).
+//!
+//! We sweep `N` at fixed `r` (charged model) to show the linear-in-`N`
+//! series the section describes, and also run the executed engine
+//! (shearsort) on small grids to demonstrate realizability with exact
+//! step counts `(r-1)²·S2_shear + (r-1)(r-2)·1`.
+
+use crate::report::ascii_chart;
+use crate::Report;
+use pns_graph::factories;
+use pns_order::radix::Shape;
+use pns_simulator::{network_sort, ChargedEngine, CostModel, Machine, ShearSorter};
+
+/// Charged steps of sorting `N^r` keys on the grid.
+#[must_use]
+pub fn grid_charged_steps(n: usize, r: usize) -> u64 {
+    let shape = Shape::new(n, r);
+    let mut keys: Vec<u64> = (0..shape.len()).rev().collect();
+    let mut engine = ChargedEngine::new(CostModel::paper_grid(n));
+    let out = network_sort(shape, &mut keys, &mut engine);
+    assert!(pns_simulator::netsort::is_snake_sorted(shape, &keys));
+    out.steps
+}
+
+/// Regenerate the grid series.
+#[must_use]
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "e07_grid",
+        "§5.1 Grid: steps vs 4(r-1)²N bound; O(N) for fixed r; \
+         diameter lower bound r(N-1)",
+        &[
+            "r",
+            "N",
+            "keys",
+            "steps",
+            "4(r-1)²N",
+            "steps/N",
+            "diam r(N-1)",
+            "within",
+        ],
+    );
+    for r in [2usize, 3, 4] {
+        for n in [4usize, 8, 16, 32] {
+            if (n as u64).pow(r as u32) > 1 << 21 {
+                continue;
+            }
+            let steps = grid_charged_steps(n, r);
+            let rr = (r - 1) as u64;
+            // 4(r-1)²N plus the o(r²N) slack: the exact closed form is
+            // 3(r-1)²N + (r-1)(r-2)(N-1) ≤ 4(r-1)²N.
+            let bound = 4 * rr * rr * n as u64;
+            let diam = (r * (n - 1)) as u64;
+            let ok = steps <= bound && steps >= diam;
+            report.check(ok);
+            report.row(&[
+                r.to_string(),
+                n.to_string(),
+                (n as u64).pow(r as u32).to_string(),
+                steps.to_string(),
+                bound.to_string(),
+                format!("{:.1}", steps as f64 / n as f64),
+                diam.to_string(),
+                ok.to_string(),
+            ]);
+        }
+    }
+    report.note(
+        "steps/N is constant for fixed r — the O(N) optimality claim of \
+         §5.1. The diameter r(N-1) is the trivial lower bound any sorting \
+         algorithm must exceed.",
+    );
+    // Figure-style companion: the linear-in-N series at fixed r.
+    let mut series = Vec::new();
+    for r in [2usize, 3, 4] {
+        let pts: Vec<(f64, f64)> = [4usize, 8, 16, 32]
+            .iter()
+            .map(|&n| (n as f64, grid_charged_steps(n, r) as f64))
+            .collect();
+        series.push((r, pts));
+    }
+    let named: Vec<(String, Vec<(f64, f64)>)> = series
+        .into_iter()
+        .map(|(r, pts)| (format!("r = {r}"), pts))
+        .collect();
+    let borrowed: Vec<(&str, Vec<(f64, f64)>)> =
+        named.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    report.note(&format!(
+        "```text\n{}```",
+        ascii_chart(
+            "charged steps vs N (grid, Theorem 1 with S2 = 3N)",
+            &borrowed
+        )
+    ));
+
+    // Executed realization on small grids.
+    let mut exec_note =
+        String::from("Executed engine (shearsort as S2, every transposition an edge): ");
+    for (n, r) in [(3usize, 3usize), (4, 3), (8, 2)] {
+        let factor = factories::path(n);
+        let mut m = Machine::executed(&factor, r, &ShearSorter);
+        let s2 = m.s2_steps();
+        let len = (n as u64).pow(r as u32);
+        let keys: Vec<u64> = (0..len).rev().collect();
+        let rep = m.sort(keys).expect("key count matches");
+        assert!(rep.is_snake_sorted());
+        let rr = (r - 1) as u64;
+        let predicted = rr * rr * s2 + (rr * (rr - 1));
+        let ok = rep.steps() == predicted;
+        report.check(ok);
+        exec_note.push_str(&format!(
+            "N={n},r={r}: measured {} = (r-1)²·{s2} + (r-1)(r-2)·1 ({}); ",
+            rep.steps(),
+            ok
+        ));
+    }
+    report.note(&exec_note);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn grid_series_within_bounds() {
+        let r = super::run();
+        assert!(r.all_match, "{}", r.to_markdown());
+    }
+
+    #[test]
+    fn fixed_r_series_is_linear_in_n() {
+        // Doubling N roughly doubles the steps at fixed r.
+        let s8 = super::grid_charged_steps(8, 3);
+        let s16 = super::grid_charged_steps(16, 3);
+        let ratio = s16 as f64 / s8 as f64;
+        assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Experiment harness: one module per paper artifact (figure, lemma,
+//! theorem, or Section 5 instantiation), each regenerating the artifact
+//! and reporting paper-vs-measured rows.
+//!
+//! Run any experiment with `cargo run -p pns-bench --bin <id>` (e.g.
+//! `e05_cost_model`), or all of them with `--bin all_experiments`.
+//! `EXPERIMENTS.md` at the workspace root records the outputs.
+
+pub mod report;
+
+pub mod experiments {
+    //! The experiment index (see DESIGN.md §3).
+    pub mod a01_labeling;
+    pub mod a02_pg2_sorter;
+    pub mod a03_sorting_network;
+    pub mod e01_construction;
+    pub mod e02_orders;
+    pub mod e03_dirty_window;
+    pub mod e04_worked_example;
+    pub mod e05_cost_model;
+    pub mod e06_universal_bound;
+    pub mod e07_grid;
+    pub mod e08_mct;
+    pub mod e09_hypercube;
+    pub mod e10_petersen;
+    pub mod e11_debruijn;
+    pub mod e12_columnsort;
+    pub mod e13_blocks;
+    pub mod e14_bsp;
+    pub mod e15_randomized;
+}
+
+pub use report::Report;
+
+/// An experiment entry: stable id plus the function regenerating it.
+pub type Experiment = (&'static str, fn() -> Report);
+
+/// All experiments in index order, as `(id, runner)` pairs.
+#[must_use]
+pub fn all_experiments() -> Vec<Experiment> {
+    use experiments::*;
+    vec![
+        ("e01_construction", e01_construction::run as fn() -> Report),
+        ("e02_orders", e02_orders::run),
+        ("e03_dirty_window", e03_dirty_window::run),
+        ("e04_worked_example", e04_worked_example::run),
+        ("e05_cost_model", e05_cost_model::run),
+        ("e06_universal_bound", e06_universal_bound::run),
+        ("e07_grid", e07_grid::run),
+        ("e08_mct", e08_mct::run),
+        ("e09_hypercube", e09_hypercube::run),
+        ("e10_petersen", e10_petersen::run),
+        ("e11_debruijn", e11_debruijn::run),
+        ("e12_columnsort", e12_columnsort::run),
+        ("e13_blocks", e13_blocks::run),
+        ("e14_bsp", e14_bsp::run),
+        ("e15_randomized", e15_randomized::run),
+        ("a01_labeling", a01_labeling::run),
+        ("a02_pg2_sorter", a02_pg2_sorter::run),
+        ("a03_sorting_network", a03_sorting_network::run),
+    ]
+}

@@ -1,0 +1,207 @@
+//! Experiment reports: titled tables with notes, rendered as Markdown and
+//! serializable to JSON for archival.
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's output: a titled table plus free-form notes.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Report {
+    /// Experiment id, e.g. `e05_cost_model`.
+    pub id: String,
+    /// What paper artifact this regenerates.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation notes (one paragraph per entry).
+    pub notes: Vec<String>,
+    /// `true` when every checked row matched its prediction.
+    pub all_match: bool,
+}
+
+impl Report {
+    /// Start a report.
+    #[must_use]
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            all_match: true,
+        }
+    }
+
+    /// Append a row (stringifying cells).
+    pub fn row<S: ToString>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Append a note paragraph.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_owned());
+    }
+
+    /// Record a prediction check; a failed check marks the report.
+    pub fn check(&mut self, ok: bool) {
+        self.all_match &= ok;
+    }
+
+    /// Render as Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        if !self.headers.is_empty() {
+            out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+            out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+            for row in &self.rows {
+                out.push_str(&format!("| {} |\n", row.join(" | ")));
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(note);
+            out.push_str("\n\n");
+        }
+        out.push_str(&format!(
+            "**Result: {}**\n",
+            if self.all_match {
+                "all rows match"
+            } else {
+                "MISMATCH"
+            }
+        ));
+        out
+    }
+}
+
+/// Render one or more `(x, y)` series as a fixed-width ASCII chart —
+/// the "figure" companion to the experiment tables. Each series gets a
+/// distinct glyph; the y-axis is linearly scaled to the data range.
+#[must_use]
+pub fn ascii_chart(title: &str, series: &[(&str, Vec<(f64, f64)>)]) -> String {
+    const WIDTH: usize = 60;
+    const HEIGHT: usize = 16;
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = (((x - x0) / (x1 - x0)) * (WIDTH - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (HEIGHT - 1) as f64).round() as usize;
+            grid[HEIGHT - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y1:>10.0} |")
+        } else if i == HEIGHT - 1 {
+            format!("{y0:>10.0} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>11}+{}\n", "", "-".repeat(WIDTH)));
+    out.push_str(&format!("{:>12}{x0:<10.0}{:>38}{x1:>10.0}\n", "", ""));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} = {name}\n", GLYPHS[si % GLYPHS.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_all_series() {
+        let s = ascii_chart(
+            "steps vs N",
+            &[
+                ("ours", vec![(4.0, 100.0), (8.0, 200.0), (16.0, 400.0)]),
+                ("bound", vec![(4.0, 150.0), (8.0, 300.0), (16.0, 600.0)]),
+            ],
+        );
+        assert!(s.contains("steps vs N"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("* = ours"));
+        assert!(s.contains("o = bound"));
+    }
+
+    #[test]
+    fn chart_handles_degenerate_data() {
+        let s = ascii_chart("flat", &[("c", vec![(1.0, 5.0), (2.0, 5.0)])]);
+        assert!(s.contains("flat"));
+        let s = ascii_chart("empty", &[]);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn builds_and_renders() {
+        let mut r = Report::new("e00", "smoke", &["a", "b"]);
+        r.row(&[1, 2]);
+        r.row(&["x".to_string(), "y".to_string()]);
+        r.note("a note");
+        r.check(true);
+        let md = r.to_markdown();
+        assert!(md.contains("## e00 — smoke"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("a note"));
+        assert!(md.contains("all rows match"));
+    }
+
+    #[test]
+    fn failed_check_is_visible() {
+        let mut r = Report::new("e00", "smoke", &[]);
+        r.check(false);
+        assert!(r.to_markdown().contains("MISMATCH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut r = Report::new("e00", "smoke", &["a"]);
+        r.row(&[1, 2]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Report::new("e01", "t", &["h"]);
+        r.row(&[42]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

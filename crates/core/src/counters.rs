@@ -1,0 +1,122 @@
+//! The paper's cost accounting.
+//!
+//! Section 4.1 measures the algorithm in two charged units:
+//!
+//! * an **`S2` unit** — one parallel round in which every (disjoint) `PG_2`
+//!   subgraph sorts its `N²` keys, costing `S2(N)` network steps;
+//! * a **routing unit** — one odd-even transposition round between `PG_2`
+//!   subgraphs, implemented by a permutation routing within factor copies,
+//!   costing `R(N)` network steps.
+//!
+//! Lemma 3 and Theorem 1 are statements about how many of each unit the
+//! algorithm spends: `M_k` spends `2(k-2)+1` `S2` units and `2(k-2)`
+//! routing units; the full sort spends `(r-1)²` and `(r-1)(r-2)`.
+//!
+//! `Counters` also accumulates *work* totals (individual base-sort
+//! invocations and compare-exchange operations), which sum across parallel
+//! branches rather than maxing — these feed the Columnsort comparison
+//! (E12), not the time bounds.
+
+/// Instrumentation accumulated by the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Parallel rounds of `N²`-key base sorts (time-like: parallel
+    /// invocations in the same round count once).
+    pub s2_units: u64,
+    /// Odd-even transposition rounds between blocks (time-like).
+    pub route_units: u64,
+    /// Total individual base-sort invocations (work-like: sums across
+    /// parallel branches).
+    pub base_sorts: u64,
+    /// Total individual compare-exchange operations performed by
+    /// transposition rounds (work-like).
+    pub compare_exchanges: u64,
+    /// Number of multiway-merge invocations, including recursive ones.
+    pub merges: u64,
+}
+
+impl Counters {
+    /// Zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Combine with a computation that ran *sequentially after* this one:
+    /// all counters add.
+    #[must_use]
+    pub fn then(self, other: Counters) -> Counters {
+        Counters {
+            s2_units: self.s2_units + other.s2_units,
+            route_units: self.route_units + other.route_units,
+            base_sorts: self.base_sorts + other.base_sorts,
+            compare_exchanges: self.compare_exchanges + other.compare_exchanges,
+            merges: self.merges + other.merges,
+        }
+    }
+
+    /// Combine with a computation that ran *in parallel with* this one:
+    /// time-like units take the max, work-like units add.
+    #[must_use]
+    pub fn alongside(self, other: Counters) -> Counters {
+        Counters {
+            s2_units: self.s2_units.max(other.s2_units),
+            route_units: self.route_units.max(other.route_units),
+            base_sorts: self.base_sorts + other.base_sorts,
+            compare_exchanges: self.compare_exchanges + other.compare_exchanges,
+            merges: self.merges + other.merges,
+        }
+    }
+
+    /// Charged time in network steps for a factor where a `PG_2` sort
+    /// costs `s2` steps and a factor permutation routing costs `route`
+    /// steps — the quantity bounded by Theorem 1.
+    #[must_use]
+    pub fn charged_time(&self, s2: u64, route: u64) -> u64 {
+        self.s2_units * s2 + self.route_units * route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(a: u64) -> Counters {
+        Counters {
+            s2_units: a,
+            route_units: a + 1,
+            base_sorts: a + 2,
+            compare_exchanges: a + 3,
+            merges: 1,
+        }
+    }
+
+    #[test]
+    fn sequential_composition_adds_everything() {
+        let c = sample(2).then(sample(5));
+        assert_eq!(c.s2_units, 7);
+        assert_eq!(c.route_units, 9);
+        assert_eq!(c.base_sorts, 11);
+        assert_eq!(c.compare_exchanges, 13);
+        assert_eq!(c.merges, 2);
+    }
+
+    #[test]
+    fn parallel_composition_maxes_time_adds_work() {
+        let c = sample(2).alongside(sample(5));
+        assert_eq!(c.s2_units, 5);
+        assert_eq!(c.route_units, 6);
+        assert_eq!(c.base_sorts, 11);
+        assert_eq!(c.compare_exchanges, 13);
+    }
+
+    #[test]
+    fn charged_time_is_linear_combination() {
+        let c = Counters {
+            s2_units: 4,
+            route_units: 2,
+            ..Counters::default()
+        };
+        assert_eq!(c.charged_time(10, 3), 46);
+    }
+}

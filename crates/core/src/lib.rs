@@ -1,0 +1,36 @@
+//! The generalized multiway-merge sorting algorithm of Fernández & Efe
+//! (Section 3 of the paper), at the *sequence level*.
+//!
+//! This crate implements the algorithm exactly as Section 3 describes it,
+//! independent of any network: [`merge::multiway_merge`] combines `N`
+//! sorted sequences of `m = N^{k-1}` keys each into one sorted sequence of
+//! `N^k` keys, and [`sort::multiway_merge_sort`] builds the full sorting
+//! algorithm of Section 3.3 on top of it. The network-mapped implementation
+//! (Section 4) lives in the `pns-simulator` crate and is checked against
+//! this one.
+//!
+//! Everything is instrumented with the paper's cost accounting
+//! ([`counters::Counters`]): one *`S2` unit* per parallel round of
+//! `N²`-key base sorts and one *routing unit* per odd-even transposition
+//! round, so Lemma 3 (`M_k = 2(k-2)(S2 + R) + S2`) and Theorem 1
+//! (`S_r = (r-1)² S2 + (r-1)(r-2) R`) can be verified by counting.
+//!
+//! The [`trace`] module records every intermediate state of a merge
+//! (`B_{u,v}`, `C_v`, `D`, `E_z … I_z`) so the paper's worked example
+//! (Figs. 12–15) is reproduced state by state, and [`dirty`] measures the
+//! dirty window of Lemma 1.
+
+pub mod counters;
+pub mod dirty;
+pub mod merge;
+pub mod netbuild;
+pub mod sort;
+pub mod trace;
+pub mod zero_one;
+
+pub use counters::Counters;
+pub use dirty::{dirty_window, is_sorted};
+pub use merge::{multiway_merge, BaseSorter, StdBaseSorter};
+pub use netbuild::{multiway_merge_sort_program, BaseNetwork, OetBase, SortingProgram};
+pub use sort::{multiway_merge_sort, predicted_route_units, predicted_s2_units};
+pub use trace::{multiway_merge_traced, MergeTrace};

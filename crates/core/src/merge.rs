@@ -1,0 +1,399 @@
+//! The multiway-merge operation (Section 3.1 of the paper).
+//!
+//! [`multiway_merge`] combines `N` sorted sequences of `m` keys each
+//! (`m` a power of `N`) into a single sorted sequence of `mN` keys:
+//!
+//! 1. **Distribute** each input `A_u` into `N` sorted subsequences
+//!    `B_{u,v}` by reading the columns of `A_u` written on an `m/N × N`
+//!    array in snake order (no data movement on the network — the
+//!    subsequences are where snake order already put them).
+//! 2. **Merge columns**: recursively merge `B_{0,v}, …, B_{N-1,v}` into
+//!    `C_v`; when a column holds only `N²` keys, sort it directly with the
+//!    assumed `N²`-key sorter (recursing further would make no progress —
+//!    Section 3.2).
+//! 3. **Interleave** the `C_v` round-robin into `D`. By Lemma 1, a 0/1
+//!    input is now sorted except for a dirty window of at most `N²` keys.
+//! 4. **Clean**: split `D` into blocks `E_z` of `N²` keys, sort them in
+//!    alternating directions, run two element-wise odd-even transposition
+//!    rounds between adjacent blocks, re-sort, and concatenate
+//!    (boustrophedon — odd blocks are read reversed).
+//!
+//! The base case `m = N` (a merge of `N` sorted `N`-key sequences, i.e. a
+//! single `N²`-key sort) is Lemma 3's initial condition `M_2 = S2`.
+
+use crate::counters::Counters;
+use pns_order::{positions_of_dim1_digit, Direction};
+
+/// The sorter for `N²` keys that Section 3 assumes available.
+///
+/// At the sequence level any comparison sort will do; the network layer
+/// substitutes an actual `PG_2` sorting algorithm (Schnorr–Shamir-style
+/// mesh sort, shearsort, …). Implementations must sort *correctly* — the
+/// zero-one argument for the merge is conditional on it.
+pub trait BaseSorter<K> {
+    /// Sort `keys` in the given direction.
+    fn sort(&self, keys: &mut [K], dir: Direction);
+}
+
+/// [`BaseSorter`] backed by the standard library's unstable sort.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdBaseSorter;
+
+impl<K: Ord> BaseSorter<K> for StdBaseSorter {
+    fn sort(&self, keys: &mut [K], dir: Direction) {
+        keys.sort_unstable();
+        if dir == Direction::Descending {
+            keys.reverse();
+        }
+    }
+}
+
+/// Merge `N = inputs.len()` sorted sequences of equal power-of-`N` length
+/// into one sorted sequence, accumulating cost into `counters`.
+///
+/// ```
+/// use pns_core::{multiway_merge, Counters, StdBaseSorter};
+///
+/// let inputs = vec![
+///     vec![0u32, 4, 4, 5, 5, 7, 8, 8, 9],
+///     vec![1, 4, 5, 5, 5, 6, 7, 7, 8],
+///     vec![0, 0, 1, 1, 1, 2, 3, 4, 9],
+/// ];
+/// let mut counters = Counters::new();
+/// let merged = multiway_merge(&inputs, &StdBaseSorter, &mut counters);
+/// assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+/// // Lemma 3 for k = 3: 2(k-2)+1 = 3 S2 units, 2(k-2) = 2 routing units.
+/// assert_eq!(counters.s2_units, 3);
+/// assert_eq!(counters.route_units, 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if fewer than two inputs are given, lengths differ or are not a
+/// positive power of `N`, or (debug only) an input is not sorted.
+#[must_use]
+pub fn multiway_merge<K: Ord + Clone, S: BaseSorter<K>>(
+    inputs: &[Vec<K>],
+    sorter: &S,
+    counters: &mut Counters,
+) -> Vec<K> {
+    validate_inputs(inputs);
+    counters.merges += 1;
+    let n = inputs.len();
+    let m = inputs[0].len();
+    if m == n {
+        // N sequences of N keys: a single N²-key sort (Section 3.2 / the
+        // k = 2 base of Lemma 3).
+        let mut all: Vec<K> = inputs.iter().flatten().cloned().collect();
+        sorter.sort(&mut all, Direction::Ascending);
+        counters.s2_units += 1;
+        counters.base_sorts += 1;
+        return all;
+    }
+    let d = steps_1_to_3(inputs, sorter, counters);
+    step_4(d, n, sorter, counters)
+}
+
+/// Steps 1–3 only: distribute, recursively merge columns, interleave.
+/// Returns the sequence `D`, sorted except for a dirty window of at most
+/// `N²` keys (Lemma 1). Exposed so the dirty-window experiments can
+/// measure exactly what Lemma 1 bounds.
+///
+/// # Panics
+///
+/// As [`multiway_merge`]; additionally requires `m ≥ N²`.
+#[must_use]
+pub fn steps_1_to_3<K: Ord + Clone, S: BaseSorter<K>>(
+    inputs: &[Vec<K>],
+    sorter: &S,
+    counters: &mut Counters,
+) -> Vec<K> {
+    validate_inputs(inputs);
+    let n = inputs.len();
+    let m = inputs[0].len();
+    assert!(m >= n * n, "steps 1-3 require m ≥ N² (got m = {m})");
+
+    // Step 1: distribute each A_u into subsequences B_{u,v}.
+    let b = distribute(inputs);
+
+    // Step 2: merge column v = { B_{u,v} | u } into C_v, for every v.
+    // The columns run in parallel on the network: time-like counters take
+    // the max across columns (they are structurally identical), work-like
+    // counters sum.
+    let mut columns_cost = Counters::new();
+    let mut c: Vec<Vec<K>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let column: Vec<Vec<K>> = b.iter().map(|row| row[v].clone()).collect();
+        let mut child = Counters::new();
+        c.push(multiway_merge(&column, sorter, &mut child));
+        columns_cost = columns_cost.alongside(child);
+    }
+    *counters = counters.then(columns_cost);
+
+    // Step 3: interleave the C_v round-robin.
+    interleave(&c)
+}
+
+/// Step 1 as data: `B_{u,v}` = the `v`-th column of `A_u` written on an
+/// `m/N × N` array in snake order. Each `B_{u,v}` is sorted because its
+/// keys keep their relative order from `A_u`.
+#[must_use]
+pub fn distribute<K: Clone>(inputs: &[Vec<K>]) -> Vec<Vec<Vec<K>>> {
+    let n = inputs.len();
+    let m = inputs[0].len();
+    inputs
+        .iter()
+        .map(|a| {
+            (0..n)
+                .map(|v| {
+                    positions_of_dim1_digit(n, m as u64, v)
+                        .map(|p| a[p as usize].clone())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Step 3 as data: `D[t·N + v] = C_v[t]`.
+#[must_use]
+pub fn interleave<K: Clone>(c: &[Vec<K>]) -> Vec<K> {
+    let n = c.len();
+    let m = c[0].len();
+    let mut d = Vec::with_capacity(n * m);
+    for t in 0..m {
+        for cv in c {
+            d.push(cv[t].clone());
+        }
+    }
+    d
+}
+
+/// Step 4: clean the dirty window of `d` (length `m·N`, blocks of `N²`)
+/// and return the fully sorted sequence.
+#[must_use]
+pub fn step_4<K: Ord + Clone, S: BaseSorter<K>>(
+    mut d: Vec<K>,
+    n: usize,
+    sorter: &S,
+    counters: &mut Counters,
+) -> Vec<K> {
+    let block = n * n;
+    assert_eq!(
+        d.len() % block,
+        0,
+        "sequence length must be a multiple of N²"
+    );
+    let blocks = d.len() / block;
+    debug_assert!(blocks >= 2, "step 4 needs at least two blocks");
+
+    let dir_of = |z: usize| {
+        if z.is_multiple_of(2) {
+            Direction::Ascending
+        } else {
+            Direction::Descending
+        }
+    };
+
+    // First alternating sort: E_z -> F_z (one parallel S2 round).
+    for (z, chunk) in d.chunks_mut(block).enumerate() {
+        sorter.sort(chunk, dir_of(z));
+    }
+    counters.s2_units += 1;
+    counters.base_sorts += blocks as u64;
+
+    // Two odd-even transposition rounds between adjacent blocks
+    // (element-wise min/max; each round is one permutation routing within
+    // factor copies on the network).
+    for parity in [0usize, 1] {
+        let mut z = parity;
+        while z + 1 < blocks {
+            let (lo, hi) = d.split_at_mut((z + 1) * block);
+            let a = &mut lo[z * block..];
+            let b = &mut hi[..block];
+            for t in 0..block {
+                if a[t] > b[t] {
+                    std::mem::swap(&mut a[t], &mut b[t]);
+                }
+            }
+            counters.compare_exchanges += block as u64;
+            z += 2;
+        }
+        counters.route_units += 1;
+    }
+
+    // Final alternating sort: H_z -> I_z (one parallel S2 round).
+    for (z, chunk) in d.chunks_mut(block).enumerate() {
+        sorter.sort(chunk, dir_of(z));
+    }
+    counters.s2_units += 1;
+    counters.base_sorts += blocks as u64;
+
+    // Concatenate in snake order: odd blocks are traversed reversed, which
+    // turns their descending runs back into ascending position order.
+    for (z, chunk) in d.chunks_mut(block).enumerate() {
+        if z % 2 == 1 {
+            chunk.reverse();
+        }
+    }
+    d
+}
+
+fn validate_inputs<K: Ord>(inputs: &[Vec<K>]) {
+    let n = inputs.len();
+    assert!(n >= 2, "need at least two sequences to merge");
+    let m = inputs[0].len();
+    assert!(
+        inputs.iter().all(|a| a.len() == m),
+        "all input sequences must have equal length"
+    );
+    // m must be a positive power of n.
+    let mut p = n;
+    while p < m {
+        p *= n;
+    }
+    assert_eq!(p, m, "sequence length {m} is not a positive power of N={n}");
+    debug_assert!(
+        inputs.iter().all(|a| a.windows(2).all(|w| w[0] <= w[1])),
+        "inputs must be sorted nondecreasing"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merge_u32(inputs: &[Vec<u32>]) -> (Vec<u32>, Counters) {
+        let mut c = Counters::new();
+        let out = multiway_merge(inputs, &StdBaseSorter, &mut c);
+        (out, c)
+    }
+
+    #[test]
+    fn base_case_sorts_n_squared_keys() {
+        let inputs = vec![vec![2, 9, 11], vec![1, 4, 30], vec![0, 0, 5]];
+        let (out, c) = merge_u32(&inputs);
+        assert_eq!(out, vec![0, 0, 1, 2, 4, 5, 9, 11, 30]);
+        assert_eq!(c.s2_units, 1);
+        assert_eq!(c.route_units, 0);
+    }
+
+    #[test]
+    fn distribute_matches_paper_example() {
+        // Section 3.1: A_u = {1,…,9}, N = 3 gives B_{u,0} = {1,6,7},
+        // B_{u,1} = {2,5,8}, B_{u,2} = {3,4,9}.
+        let a: Vec<u32> = (1..=9).collect();
+        let b = distribute(&[a.clone(), a.clone(), a]);
+        assert_eq!(b[0][0], vec![1, 6, 7]);
+        assert_eq!(b[0][1], vec![2, 5, 8]);
+        assert_eq!(b[0][2], vec![3, 4, 9]);
+    }
+
+    #[test]
+    fn distributed_subsequences_stay_sorted() {
+        let a: Vec<u32> = (0..27).map(|x| x * 3 % 40).collect();
+        let mut a = a;
+        a.sort_unstable();
+        let b = distribute(&[a.clone(), a.clone(), a]);
+        for row in &b {
+            for sub in row {
+                assert!(sub.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn merges_three_sequences_of_nine() {
+        let inputs = vec![
+            vec![0, 4, 4, 5, 5, 7, 8, 8, 9],
+            vec![1, 4, 5, 5, 5, 6, 7, 7, 8],
+            vec![0, 0, 1, 1, 1, 2, 3, 4, 9],
+        ];
+        let (out, c) = merge_u32(&inputs);
+        let mut expect: Vec<u32> = inputs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+        // Lemma 3 for k = 3: 2(k-2)+1 = 3 S2 units, 2(k-2) = 2 routings.
+        assert_eq!(c.s2_units, 3);
+        assert_eq!(c.route_units, 2);
+    }
+
+    #[test]
+    fn lemma3_unit_counts_for_higher_k() {
+        // Merging N sequences of N^{k-1} keys spends 2(k-2)+1 S2 units and
+        // 2(k-2) routing units.
+        for (n, k) in [(2usize, 3usize), (2, 4), (2, 5), (3, 3), (3, 4), (4, 3)] {
+            let m = n.pow(k as u32 - 1);
+            let inputs: Vec<Vec<u64>> = (0..n)
+                .map(|u| (0..m as u64).map(|i| i * 7 + u as u64).collect())
+                .collect();
+            let (out, c) = {
+                let mut cc = Counters::new();
+                let o = multiway_merge(&inputs, &StdBaseSorter, &mut cc);
+                (o, cc)
+            };
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "n={n} k={k}");
+            assert_eq!(c.s2_units, 2 * (k as u64 - 2) + 1, "n={n} k={k}");
+            assert_eq!(c.route_units, 2 * (k as u64 - 2), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_multiset() {
+        let inputs = vec![
+            vec![5u32, 5, 5, 5],
+            vec![1, 2, 2, 9],
+            vec![0, 3, 3, 7],
+            vec![2, 2, 2, 2],
+        ];
+        let (out, _) = merge_u32(&inputs);
+        let mut expect: Vec<u32> = inputs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn merge_with_duplicates_everywhere() {
+        let inputs = vec![vec![1u8; 9], vec![1u8; 9], vec![1u8; 9]];
+        let (out, _) = merge_u32_like(&inputs);
+        assert_eq!(out, vec![1u8; 27]);
+    }
+
+    fn merge_u32_like<K: Ord + Clone>(inputs: &[Vec<K>]) -> (Vec<K>, Counters) {
+        let mut c = Counters::new();
+        let out = multiway_merge(inputs, &StdBaseSorter, &mut c);
+        (out, c)
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_ragged_inputs() {
+        let _ = merge_u32(&[vec![1, 2, 3], vec![1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of N")]
+    fn rejects_non_power_length() {
+        let _ = merge_u32(&[vec![1, 2, 3, 4], vec![1, 2, 3, 4], vec![1, 2, 3, 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_input() {
+        let _ = merge_u32(&[vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn step4_cleans_a_bounded_dirty_window() {
+        // Construct a sequence that is sorted except for a window of < N²
+        // keys straddling a block boundary, as Lemma 1 guarantees.
+        let n = 3;
+        let mut d: Vec<u32> = (0..27).collect();
+        d[7..12].reverse(); // dirty window of 5 < 9 keys across blocks 0/1
+        let mut c = Counters::new();
+        let out = step_4(d, n, &StdBaseSorter, &mut c);
+        assert_eq!(out, (0..27).collect::<Vec<u32>>());
+        assert_eq!(c.s2_units, 2);
+        assert_eq!(c.route_units, 2);
+    }
+}

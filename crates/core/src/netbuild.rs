@@ -1,0 +1,404 @@
+//! Building *sorting networks* from the multiway merge (Section 3.2).
+//!
+//! The paper notes that the merge can be used two ways: on product
+//! networks (the rest of the paper), or "if we are interested in building
+//! a sorting network, we can implement subnetworks" based on the same
+//! recursion. This module realizes that alternative: given any sorting
+//! network generator for the `N²`-key base case, it assembles a comparator
+//! network that sorts `N^r` keys by the multiway-merge recursion —
+//! Steps 1 and 3 become wire permutations (free in a network), Step 2 the
+//! recursive sub-networks, and Step 4 the cleanup comparators.
+//!
+//! For `N = 2` with Batcher's 4-key base, this is a Batcher-style network
+//! ("Batcher algorithm is a special case of our algorithm", §5.3).
+
+use pns_order::positions_of_dim1_digit;
+
+/// A comparator network grouped into synchronous rounds; comparator
+/// `(a, b)` places the minimum on line `a`. (A light-weight local type so
+/// `pns-core` stays dependency-free; `pns-baselines` has a richer one.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortingProgram {
+    lines: usize,
+    rounds: Vec<Vec<(u32, u32)>>,
+}
+
+impl SortingProgram {
+    /// Wrap validated rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range lines or overlapping comparators in a round.
+    #[must_use]
+    pub fn new(lines: usize, rounds: Vec<Vec<(u32, u32)>>) -> Self {
+        for (ri, round) in rounds.iter().enumerate() {
+            let mut used = vec![false; lines];
+            for &(a, b) in round {
+                assert!(a != b, "round {ri}: degenerate comparator");
+                assert!(
+                    (a as usize) < lines && (b as usize) < lines,
+                    "round {ri}: comparator ({a},{b}) out of range"
+                );
+                for v in [a, b] {
+                    assert!(!used[v as usize], "round {ri}: line {v} reused");
+                    used[v as usize] = true;
+                }
+            }
+        }
+        SortingProgram { lines, rounds }
+    }
+
+    /// Number of lines.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Depth (rounds).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Size (comparators).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// The rounds.
+    #[must_use]
+    pub fn rounds(&self) -> &[Vec<(u32, u32)>] {
+        &self.rounds
+    }
+
+    /// Apply to keys in place.
+    pub fn apply<K: Ord>(&self, keys: &mut [K]) {
+        assert_eq!(keys.len(), self.lines);
+        for round in &self.rounds {
+            for &(a, b) in round {
+                if keys[a as usize] > keys[b as usize] {
+                    keys.swap(a as usize, b as usize);
+                }
+            }
+        }
+    }
+
+    /// Exhaustive zero-one validation (`lines ≤ 22`).
+    #[must_use]
+    pub fn is_sorting_network(&self) -> bool {
+        assert!(self.lines <= 22, "exhaustive check is exponential");
+        for mask in 0u64..(1 << self.lines) {
+            let mut keys: Vec<u8> = (0..self.lines).map(|i| ((mask >> i) & 1) as u8).collect();
+            self.apply(&mut keys);
+            if !keys.windows(2).all(|w| w[0] <= w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Generator for the assumed `N²`-key base networks: given a line count,
+/// produce rounds over *local* indices `0 … len-1` that sort ascending
+/// along local order.
+pub trait BaseNetwork {
+    /// Build the base network for `len` lines.
+    fn rounds(&self, len: usize) -> Vec<Vec<(u32, u32)>>;
+}
+
+/// Odd-even transposition base: `len` rounds — works for any `len`, the
+/// generic stand-in for "an algorithm which can sort N² keys".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OetBase;
+
+impl BaseNetwork for OetBase {
+    fn rounds(&self, len: usize) -> Vec<Vec<(u32, u32)>> {
+        (0..len)
+            .map(|round| {
+                ((round % 2) as u32..len.saturating_sub(1) as u32)
+                    .step_by(2)
+                    .map(|i| (i, i + 1))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Zip two parallel sub-networks' rounds (disjoint lines) into shared
+/// rounds.
+fn zip_rounds(mut acc: Vec<Vec<(u32, u32)>>, other: Vec<Vec<(u32, u32)>>) -> Vec<Vec<(u32, u32)>> {
+    if other.len() > acc.len() {
+        acc.resize(other.len(), Vec::new());
+    }
+    for (i, round) in other.into_iter().enumerate() {
+        acc[i].extend(round);
+    }
+    acc
+}
+
+/// Emit `base` over the global lines `idx`, ascending (`flip = false`)
+/// or descending (`flip = true`).
+fn base_rounds(base: &dyn BaseNetwork, idx: &[u32], flip: bool) -> Vec<Vec<(u32, u32)>> {
+    base.rounds(idx.len())
+        .into_iter()
+        .map(|round| {
+            round
+                .into_iter()
+                .map(|(i, j)| {
+                    let (a, b) = (idx[i as usize], idx[j as usize]);
+                    if flip {
+                        (b, a)
+                    } else {
+                        (a, b)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Build the merge sub-network: `idx[u*m + t]` is the line holding the
+/// `t`-th key of sorted input `u`. Returns `(rounds, out)` where `out[p]`
+/// is the line holding the `p`-th smallest key afterwards.
+fn merge_rounds(idx: &[u32], n: usize, base: &dyn BaseNetwork) -> (Vec<Vec<(u32, u32)>>, Vec<u32>) {
+    let m = idx.len() / n;
+    debug_assert_eq!(idx.len() % n, 0);
+    if m == n {
+        // Base case: one N²-key sorting network over these lines.
+        return (base_rounds(base, idx, false), idx.to_vec());
+    }
+
+    // Step 1 (wire permutation): column v = { B_{u,v} | u }.
+    let mut rounds: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut col_sorted: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let col_lines: Vec<u32> = (0..n)
+            .flat_map(|u| {
+                positions_of_dim1_digit(n, m as u64, v).map(move |p| idx[u * m + p as usize])
+            })
+            .collect();
+        // Step 2: recursive merge; the N column merges are parallel.
+        let (child_rounds, child_out) = merge_rounds(&col_lines, n, base);
+        rounds = zip_rounds(rounds, child_rounds);
+        col_sorted.push(child_out);
+    }
+
+    // Step 3 (wire permutation): interleave.
+    let mut d: Vec<u32> = Vec::with_capacity(idx.len());
+    for t in 0..m {
+        for cs in &col_sorted {
+            d.push(cs[t]);
+        }
+    }
+
+    // Step 4: alternating block sorts, two OET rounds, alternating sorts.
+    let block = n * n;
+    let blocks = d.len() / block;
+    let mut first_sorts: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut final_sorts: Vec<Vec<(u32, u32)>> = Vec::new();
+    for z in 0..blocks {
+        let blk = &d[z * block..(z + 1) * block];
+        first_sorts = zip_rounds(first_sorts, base_rounds(base, blk, z % 2 == 1));
+        final_sorts = zip_rounds(final_sorts, base_rounds(base, blk, z % 2 == 1));
+    }
+    rounds.extend(first_sorts);
+    for parity in [0usize, 1] {
+        let mut round = Vec::new();
+        let mut z = parity;
+        while z + 1 < blocks {
+            for t in 0..block {
+                round.push((d[z * block + t], d[(z + 1) * block + t]));
+            }
+            z += 2;
+        }
+        rounds.push(round);
+    }
+    rounds.extend(final_sorts);
+
+    // Output order: blocks in order, odd blocks read reversed.
+    let mut out = Vec::with_capacity(d.len());
+    for z in 0..blocks {
+        let blk = &d[z * block..(z + 1) * block];
+        if z % 2 == 0 {
+            out.extend_from_slice(blk);
+        } else {
+            out.extend(blk.iter().rev().copied());
+        }
+    }
+    (rounds, out)
+}
+
+/// Build a sorting network for `n^r` keys from the multiway-merge
+/// recursion (Section 3.2/3.3), with `base` providing the `N²`-key
+/// sub-networks. The result sorts ascending by line index.
+///
+/// ```
+/// use pns_core::netbuild::{multiway_merge_sort_program, OetBase};
+///
+/// let net = multiway_merge_sort_program(3, 2, &OetBase);
+/// let mut keys = vec![5, 2, 8, 1, 9, 0, 7, 4, 3];
+/// net.apply(&mut keys);
+/// assert_eq!(keys, vec![0, 1, 2, 3, 4, 5, 7, 8, 9]);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `r ≥ 2` and `n ≥ 2`.
+#[must_use]
+pub fn multiway_merge_sort_program(n: usize, r: usize, base: &dyn BaseNetwork) -> SortingProgram {
+    assert!(n >= 2 && r >= 2, "need n ≥ 2 and r ≥ 2");
+    let lines = n.pow(r as u32);
+    let mut rounds: Vec<Vec<(u32, u32)>> = Vec::new();
+
+    // Initial stage: sort each N²-key block (all blocks in parallel).
+    let block = n * n;
+    let mut stage_rounds: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut seqs: Vec<Vec<u32>> = Vec::new();
+    for start in (0..lines).step_by(block) {
+        let idx: Vec<u32> = (start as u32..(start + block) as u32).collect();
+        stage_rounds = zip_rounds(stage_rounds, base_rounds(base, &idx, false));
+        seqs.push(idx);
+    }
+    rounds.extend(stage_rounds);
+
+    // Merge stages.
+    while seqs.len() > 1 {
+        let mut stage_rounds: Vec<Vec<(u32, u32)>> = Vec::new();
+        let mut next: Vec<Vec<u32>> = Vec::with_capacity(seqs.len() / n);
+        for group in seqs.chunks(n) {
+            let idx: Vec<u32> = group.iter().flatten().copied().collect();
+            let (child_rounds, out) = merge_rounds(&idx, n, base);
+            stage_rounds = zip_rounds(stage_rounds, child_rounds);
+            next.push(out);
+        }
+        rounds.extend(stage_rounds);
+        seqs = next;
+    }
+
+    // Relabel lines so the network sorts by line index: the physical line
+    // `final_order[p]` holds the p-th smallest, so rename it `p`.
+    let final_order = seqs.pop().expect("one sequence remains");
+    let mut rename = vec![0u32; lines];
+    for (p, &line) in final_order.iter().enumerate() {
+        rename[line as usize] = p as u32;
+    }
+    let rounds = rounds
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .map(|round| {
+            round
+                .into_iter()
+                .map(|(a, b)| (rename[a as usize], rename[b as usize]))
+                .collect()
+        })
+        .collect();
+    SortingProgram::new(lines, rounds)
+}
+
+/// Sanity helper used in tests: the network's comparator count is at
+/// least the information-theoretic minimum `Ω(L log L)`.
+#[must_use]
+pub fn comparator_lower_bound(lines: usize) -> usize {
+    // ceil(log2(lines!)) comparators are necessary.
+    let mut bits = 0f64;
+    for i in 2..=lines {
+        bits += (i as f64).log2();
+    }
+    bits.ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counters;
+    use crate::merge::{multiway_merge, StdBaseSorter};
+
+    #[test]
+    fn oet_base_is_a_sorting_network() {
+        for len in 2..=6 {
+            let prog = SortingProgram::new(len, OetBase.rounds(len));
+            assert!(prog.is_sorting_network(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn merge_networks_sort_exhaustively() {
+        // Full zero-one validation of the generated networks.
+        for (n, r) in [(2usize, 2usize), (2, 3), (2, 4), (3, 2), (4, 2)] {
+            let prog = multiway_merge_sort_program(n, r, &OetBase);
+            assert_eq!(prog.lines(), n.pow(r as u32));
+            assert!(prog.is_sorting_network(), "n={n} r={r}");
+        }
+    }
+
+    #[test]
+    fn larger_networks_sort_random_inputs() {
+        for (n, r) in [(3usize, 3usize), (2, 6), (4, 3)] {
+            let prog = multiway_merge_sort_program(n, r, &OetBase);
+            let len = prog.lines();
+            let mut state = 7u64;
+            for _ in 0..20 {
+                let mut keys: Vec<u64> = (0..len)
+                    .map(|i| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(i as u64);
+                        state >> 45
+                    })
+                    .collect();
+                let mut expect = keys.clone();
+                expect.sort_unstable();
+                prog.apply(&mut keys);
+                assert_eq!(keys, expect, "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn network_agrees_with_sequence_algorithm() {
+        // The network is the same algorithm with wires instead of nodes:
+        // outputs must agree with the sequence-level implementation.
+        let (n, r) = (3usize, 3usize);
+        let prog = multiway_merge_sort_program(n, r, &OetBase);
+        let keys: Vec<u32> = (0..27u32).map(|x| (x * 17) % 13).collect();
+        let mut net_keys = keys.clone();
+        prog.apply(&mut net_keys);
+        let (seq, _) = crate::sort::multiway_merge_sort(&keys, n, &StdBaseSorter);
+        assert_eq!(net_keys, seq);
+        // And another instrumented merge sanity check on the same data.
+        let sorted_blocks: Vec<Vec<u32>> = {
+            let mut blocks: Vec<Vec<u32>> = keys.chunks(9).map(<[u32]>::to_vec).collect();
+            for b in &mut blocks {
+                b.sort_unstable();
+            }
+            blocks
+        };
+        let mut c2 = Counters::new();
+        let merged = multiway_merge(&sorted_blocks, &StdBaseSorter, &mut c2);
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn depth_and_size_are_reported() {
+        let prog = multiway_merge_sort_program(2, 4, &OetBase);
+        assert!(prog.depth() > 0);
+        assert!(prog.size() >= comparator_lower_bound(16));
+    }
+
+    #[test]
+    fn every_round_is_disjoint_by_construction() {
+        // SortingProgram::new re-validates; building larger instances
+        // exercises the zip/flip paths.
+        let _ = multiway_merge_sort_program(3, 4, &OetBase);
+        let _ = multiway_merge_sort_program(5, 2, &OetBase);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 2 and r ≥ 2")]
+    fn rejects_one_dimension() {
+        let _ = multiway_merge_sort_program(3, 1, &OetBase);
+    }
+}

@@ -1,0 +1,217 @@
+//! The full sorting algorithm (Section 3.3 of the paper).
+//!
+//! To sort `N^r` keys: sort independent blocks of `N²` keys, then
+//! repeatedly group `N` adjacent sorted sequences and multiway-merge each
+//! group, until one sequence remains. Theorem 1: the whole algorithm
+//! spends `(r-1)²` `S2` units and `(r-1)(r-2)` routing units.
+
+use crate::counters::Counters;
+use crate::merge::{multiway_merge, BaseSorter};
+use pns_order::Direction;
+
+/// Sort `keys` (length `N^r`, `r ≥ 2`) with the multiway-merge sorting
+/// algorithm, returning the sorted sequence and the charged-cost counters.
+///
+/// ```
+/// use pns_core::{multiway_merge_sort, StdBaseSorter};
+///
+/// let keys: Vec<u32> = (0..81).rev().collect(); // 3^4 keys
+/// let (sorted, counters) = multiway_merge_sort(&keys, 3, &StdBaseSorter);
+/// assert_eq!(sorted, (0..81).collect::<Vec<u32>>());
+/// // Theorem 1 for r = 4: (r-1)² = 9 S2 units, (r-1)(r-2) = 6 routings.
+/// assert_eq!(counters.s2_units, 9);
+/// assert_eq!(counters.route_units, 6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `keys.len()` is not `n^r` for some `r ≥ 2`.
+#[must_use]
+pub fn multiway_merge_sort<K: Ord + Clone, S: BaseSorter<K>>(
+    keys: &[K],
+    n: usize,
+    sorter: &S,
+) -> (Vec<K>, Counters) {
+    // Validate the key count (n^r, r ≥ 2) up front.
+    let _r = dims_for_len(n, keys.len());
+    let mut counters = Counters::new();
+
+    // Initial stage: sort each N²-key block independently — one parallel
+    // S2 round.
+    let block = n * n;
+    let mut seqs: Vec<Vec<K>> = keys
+        .chunks(block)
+        .map(|c| {
+            let mut v = c.to_vec();
+            sorter.sort(&mut v, Direction::Ascending);
+            v
+        })
+        .collect();
+    counters.s2_units += 1;
+    counters.base_sorts += seqs.len() as u64;
+
+    // Merge stages: group N sequences and merge, k = 3 … r.
+    while seqs.len() > 1 {
+        let mut stage_cost = Counters::new();
+        let mut next: Vec<Vec<K>> = Vec::with_capacity(seqs.len() / n);
+        for group in seqs.chunks(n) {
+            let mut child = Counters::new();
+            next.push(multiway_merge(group, sorter, &mut child));
+            stage_cost = stage_cost.alongside(child);
+        }
+        counters = counters.then(stage_cost);
+        seqs = next;
+    }
+    (seqs.pop().expect("at least one sequence"), counters)
+}
+
+/// The number of dimensions `r` with `n^r == len`.
+///
+/// # Panics
+///
+/// Panics unless `len = n^r` for some `r ≥ 2`.
+#[must_use]
+pub fn dims_for_len(n: usize, len: usize) -> usize {
+    assert!(n >= 2, "factor size must be ≥ 2");
+    let mut r = 0usize;
+    let mut p = 1usize;
+    while p < len {
+        p = p.checked_mul(n).expect("length overflow");
+        r += 1;
+    }
+    assert_eq!(p, len, "key count {len} is not a power of N = {n}");
+    assert!(r >= 2, "need at least N² keys (r ≥ 2), got r = {r}");
+    r
+}
+
+/// Theorem 1: number of `S2` units spent sorting `N^r` keys, `(r-1)²`.
+#[inline]
+#[must_use]
+pub fn predicted_s2_units(r: usize) -> u64 {
+    let r = r as u64;
+    (r - 1) * (r - 1)
+}
+
+/// Theorem 1: number of routing units spent sorting `N^r` keys,
+/// `(r-1)(r-2)`.
+#[inline]
+#[must_use]
+pub fn predicted_route_units(r: usize) -> u64 {
+    let r = r as u64;
+    (r - 1) * (r - 2)
+}
+
+/// Lemma 3: `S2` units spent by one `k`-dimensional merge, `2(k-2)+1`.
+#[inline]
+#[must_use]
+pub fn predicted_merge_s2_units(k: usize) -> u64 {
+    2 * (k as u64 - 2) + 1
+}
+
+/// Lemma 3: routing units spent by one `k`-dimensional merge, `2(k-2)`.
+#[inline]
+#[must_use]
+pub fn predicted_merge_route_units(k: usize) -> u64 {
+    2 * (k as u64 - 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::StdBaseSorter;
+
+    #[test]
+    fn sorts_reversed_input() {
+        for (n, r) in [(2usize, 2usize), (2, 5), (3, 3), (3, 4), (4, 3), (5, 2)] {
+            let len = n.pow(r as u32);
+            let keys: Vec<u64> = (0..len as u64).rev().collect();
+            let (out, _) = multiway_merge_sort(&keys, n, &StdBaseSorter);
+            assert_eq!(out, (0..len as u64).collect::<Vec<_>>(), "n={n} r={r}");
+        }
+    }
+
+    #[test]
+    fn theorem1_unit_counts() {
+        for (n, r) in [
+            (2usize, 2usize),
+            (2, 3),
+            (2, 4),
+            (2, 6),
+            (3, 3),
+            (3, 4),
+            (4, 3),
+        ] {
+            let len = n.pow(r as u32);
+            let keys: Vec<u64> = (0..len as u64)
+                .map(|x| x.wrapping_mul(2654435761) % 1000)
+                .collect();
+            let (out, c) = multiway_merge_sort(&keys, n, &StdBaseSorter);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(c.s2_units, predicted_s2_units(r), "S2 units n={n} r={r}");
+            assert_eq!(
+                c.route_units,
+                predicted_route_units(r),
+                "route units n={n} r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn sorts_all_equal_keys() {
+        let keys = vec![7u8; 27];
+        let (out, _) = multiway_merge_sort(&keys, 3, &StdBaseSorter);
+        assert_eq!(out, keys);
+    }
+
+    #[test]
+    fn preserves_multiset() {
+        let keys: Vec<u32> = (0..81).map(|x| x * 37 % 13).collect();
+        let (out, _) = multiway_merge_sort(&keys, 3, &StdBaseSorter);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn dims_for_len_checks() {
+        assert_eq!(dims_for_len(3, 27), 3);
+        assert_eq!(dims_for_len(2, 4), 2);
+        assert_eq!(dims_for_len(10, 10_000), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power")]
+    fn rejects_non_power_key_counts() {
+        let _ = dims_for_len(3, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "r ≥ 2")]
+    fn rejects_single_dimension() {
+        let _ = dims_for_len(3, 3);
+    }
+
+    #[test]
+    fn predictions_match_closed_forms() {
+        assert_eq!(predicted_s2_units(2), 1);
+        assert_eq!(predicted_route_units(2), 0);
+        assert_eq!(predicted_s2_units(5), 16);
+        assert_eq!(predicted_route_units(5), 12);
+        // Theorem 1's telescoping: S_r = S2-stage + Σ M_k.
+        for r in 3..10 {
+            let s2: u64 = 1 + (3..=r).map(predicted_merge_s2_units).sum::<u64>();
+            let rt: u64 = (3..=r).map(predicted_merge_route_units).sum::<u64>();
+            assert_eq!(s2, predicted_s2_units(r));
+            assert_eq!(rt, predicted_route_units(r));
+        }
+    }
+
+    #[test]
+    fn stability_is_not_promised_but_order_is_total() {
+        // Sorting pairs by first component only (Ord on tuple uses both —
+        // emulate a key with payload by sorting (key, id) pairs).
+        let keys: Vec<(u8, u16)> = (0..64u16).map(|i| ((i % 4) as u8, i)).collect();
+        let (out, _) = multiway_merge_sort(&keys, 2, &StdBaseSorter);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,258 @@
+//! Traced execution of one multiway merge, recording every intermediate
+//! state named in Section 3.1 and Figs. 6–11 — and thereby reproducing the
+//! paper's 27-key worked example of Figs. 12–15 state by state.
+
+use crate::counters::Counters;
+use crate::merge::{distribute, interleave, multiway_merge, BaseSorter};
+use pns_order::Direction;
+
+/// Every intermediate state of a single (top-level) multiway merge.
+///
+/// Indices mirror the paper: `b[u][v]` is `B_{u,v}`, `c[v]` is `C_v`,
+/// `d` is the interleaved sequence `D`, and `e[z] … i_seqs[z]` are the
+/// Step 4 block states `E_z, F_z, G_z, H_z, I_z`. The final sorted result
+/// `S` is in `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeTrace<K> {
+    /// The inputs `A_u` as given.
+    pub a: Vec<Vec<K>>,
+    /// Step 1: distributed subsequences `B_{u,v}`.
+    pub b: Vec<Vec<Vec<K>>>,
+    /// Step 2: merged columns `C_v`.
+    pub c: Vec<Vec<K>>,
+    /// Step 3: interleaved sequence `D`.
+    pub d: Vec<K>,
+    /// Step 4 blocks before any cleaning: `E_z`.
+    pub e: Vec<Vec<K>>,
+    /// After the first alternating sort: `F_z`.
+    pub f: Vec<Vec<K>>,
+    /// After the first odd-even transposition round: `G_z`.
+    pub g: Vec<Vec<K>>,
+    /// After the second odd-even transposition round: `H_z`.
+    pub h: Vec<Vec<K>>,
+    /// After the final alternating sort: `I_z`.
+    pub i_seqs: Vec<Vec<K>>,
+    /// The sorted output `S` (odd blocks of `I` read reversed).
+    pub s: Vec<K>,
+}
+
+/// Run one multiway merge, recording every intermediate state. Costs are
+/// accumulated into `counters` identically to
+/// [`multiway_merge`].
+///
+/// # Panics
+///
+/// As [`multiway_merge`]; additionally
+/// requires `m ≥ N²` so that all four steps actually occur.
+#[must_use]
+pub fn multiway_merge_traced<K: Ord + Clone, S: BaseSorter<K>>(
+    inputs: &[Vec<K>],
+    sorter: &S,
+    counters: &mut Counters,
+) -> MergeTrace<K> {
+    let n = inputs.len();
+    let m = inputs[0].len();
+    assert!(m >= n * n, "traced merge requires m ≥ N²");
+    counters.merges += 1;
+
+    // Step 1.
+    let b = distribute(inputs);
+
+    // Step 2 (columns in parallel; recursion untraced).
+    let mut columns_cost = Counters::new();
+    let mut c: Vec<Vec<K>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let column: Vec<Vec<K>> = b.iter().map(|row| row[v].clone()).collect();
+        let mut child = Counters::new();
+        c.push(multiway_merge(&column, sorter, &mut child));
+        columns_cost = columns_cost.alongside(child);
+    }
+    *counters = counters.then(columns_cost);
+
+    // Step 3.
+    let d = interleave(&c);
+
+    // Step 4, recorded block state by block state.
+    let block = n * n;
+    let blocks = d.len() / block;
+    let dir_of = |z: usize| {
+        if z.is_multiple_of(2) {
+            Direction::Ascending
+        } else {
+            Direction::Descending
+        }
+    };
+    let e: Vec<Vec<K>> = d.chunks(block).map(<[K]>::to_vec).collect();
+
+    let mut f: Vec<Vec<K>> = e.clone();
+    for (z, blk) in f.iter_mut().enumerate() {
+        sorter.sort(blk, dir_of(z));
+    }
+    counters.s2_units += 1;
+    counters.base_sorts += blocks as u64;
+
+    let mut g = f.clone();
+    oet_round(&mut g, 0);
+    counters.route_units += 1;
+    counters.compare_exchanges += (blocks as u64 / 2) * block as u64;
+
+    let mut h = g.clone();
+    oet_round(&mut h, 1);
+    counters.route_units += 1;
+    counters.compare_exchanges += ((blocks as u64 - 1) / 2) * block as u64;
+
+    let mut i_seqs = h.clone();
+    for (z, blk) in i_seqs.iter_mut().enumerate() {
+        sorter.sort(blk, dir_of(z));
+    }
+    counters.s2_units += 1;
+    counters.base_sorts += blocks as u64;
+
+    let mut s = Vec::with_capacity(d.len());
+    for (z, blk) in i_seqs.iter().enumerate() {
+        if z % 2 == 0 {
+            s.extend(blk.iter().cloned());
+        } else {
+            s.extend(blk.iter().rev().cloned());
+        }
+    }
+
+    MergeTrace {
+        a: inputs.to_vec(),
+        b,
+        c,
+        d,
+        e,
+        f,
+        g,
+        h,
+        i_seqs,
+        s,
+    }
+}
+
+/// One element-wise odd-even transposition round over a slice of blocks:
+/// pairs `(z, z+1)` for `z ≡ parity (mod 2)` compare term by term, minimum
+/// to the earlier block.
+fn oet_round<K: Ord>(blocks: &mut [Vec<K>], parity: usize) {
+    let mut z = parity;
+    while z + 1 < blocks.len() {
+        let (lo, hi) = blocks.split_at_mut(z + 1);
+        let a = &mut lo[z];
+        let b = &mut hi[0];
+        for t in 0..a.len() {
+            if a[t] > b[t] {
+                std::mem::swap(&mut a[t], &mut b[t]);
+            }
+        }
+        z += 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::StdBaseSorter;
+
+    /// The complete worked example of Figs. 12–15 (inputs credited to
+    /// Nancy Eleser in the paper's acknowledgments), checked against every
+    /// state the figures display.
+    #[test]
+    fn paper_worked_example() {
+        let inputs = vec![
+            vec![0u32, 4, 4, 5, 5, 7, 8, 8, 9], // A_0
+            vec![1, 4, 5, 5, 5, 6, 7, 7, 8],    // A_1
+            vec![0, 0, 1, 1, 1, 2, 3, 4, 9],    // A_2
+        ];
+        let mut counters = Counters::new();
+        let t = multiway_merge_traced(&inputs, &StdBaseSorter, &mut counters);
+
+        // Fig. 12 ("After Step 1"): the three B-columns.
+        assert_eq!(t.b[0][0], vec![0, 7, 8]);
+        assert_eq!(t.b[1][0], vec![1, 6, 7]);
+        assert_eq!(t.b[2][0], vec![0, 2, 3]);
+        assert_eq!(t.b[0][1], vec![4, 5, 8]);
+        assert_eq!(t.b[1][1], vec![4, 5, 7]);
+        assert_eq!(t.b[2][1], vec![0, 1, 4]);
+        assert_eq!(t.b[0][2], vec![4, 5, 9]);
+        assert_eq!(t.b[1][2], vec![5, 5, 8]);
+        assert_eq!(t.b[2][2], vec![1, 1, 9]);
+
+        // Fig. 13b: merged columns C_v (each sorted).
+        assert_eq!(t.c[0], vec![0, 0, 1, 2, 3, 6, 7, 7, 8]);
+        assert_eq!(t.c[1], vec![0, 1, 4, 4, 4, 5, 5, 7, 8]);
+        assert_eq!(t.c[2], vec![1, 1, 4, 5, 5, 5, 8, 9, 9]);
+
+        // Fig. 14: the interleaved sequence D.
+        assert_eq!(
+            t.d,
+            vec![0, 0, 1, 0, 1, 1, 1, 4, 4, 2, 4, 5, 3, 4, 5, 6, 5, 5, 7, 5, 8, 7, 7, 9, 8, 8, 9]
+        );
+
+        // Fig. 15a: blocks sorted in alternating directions.
+        assert_eq!(t.f[0], vec![0, 0, 0, 1, 1, 1, 1, 4, 4]);
+        assert_eq!(t.f[1], vec![6, 5, 5, 5, 5, 4, 4, 3, 2]);
+        assert_eq!(t.f[2], vec![5, 7, 7, 7, 8, 8, 8, 9, 9]);
+
+        // Fig. 15b: first transposition round — the keys 3 and 2 (block 1,
+        // last two positions) swap with the two 4s of block 0.
+        assert_eq!(t.g[0], vec![0, 0, 0, 1, 1, 1, 1, 3, 2]);
+        assert_eq!(t.g[1], vec![6, 5, 5, 5, 5, 4, 4, 4, 4]);
+        assert_eq!(t.g[2], t.f[2]);
+
+        // Fig. 15c: second round — the 5 heading block 2 swaps with the 6
+        // heading block 1.
+        assert_eq!(t.h[1], vec![5, 5, 5, 5, 5, 4, 4, 4, 4]);
+        assert_eq!(t.h[2], vec![6, 7, 7, 7, 8, 8, 8, 9, 9]);
+        assert_eq!(t.h[0], t.g[0]);
+
+        // Fig. 15d: final alternating sorts.
+        assert_eq!(t.i_seqs[0], vec![0, 0, 0, 1, 1, 1, 1, 2, 3]);
+        assert_eq!(t.i_seqs[1], vec![5, 5, 5, 5, 5, 4, 4, 4, 4]);
+        assert_eq!(t.i_seqs[2], vec![6, 7, 7, 7, 8, 8, 8, 9, 9]);
+
+        // The result, read boustrophedon, is fully sorted.
+        let mut expect: Vec<u32> = inputs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(t.s, expect);
+
+        // Lemma 3 accounting for k = 3.
+        assert_eq!(counters.s2_units, 3);
+        assert_eq!(counters.route_units, 2);
+    }
+
+    #[test]
+    fn traced_merge_matches_untraced() {
+        let inputs: Vec<Vec<u32>> = (0..3)
+            .map(|u| (0..9).map(|i| (i * 5 + u * 3) % 23).collect::<Vec<u32>>())
+            .map(|mut v| {
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut c1 = Counters::new();
+        let traced = multiway_merge_traced(&inputs, &StdBaseSorter, &mut c1);
+        let mut c2 = Counters::new();
+        let plain = multiway_merge(&inputs, &StdBaseSorter, &mut c2);
+        assert_eq!(traced.s, plain);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn trace_shapes_are_consistent() {
+        let inputs: Vec<Vec<u16>> = (0..4)
+            .map(|u| (0..16).map(|i| i * 2 + u).collect())
+            .collect();
+        let mut c = Counters::new();
+        let t = multiway_merge_traced(&inputs, &StdBaseSorter, &mut c);
+        assert_eq!(t.b.len(), 4);
+        assert!(t.b.iter().all(|row| row.len() == 4));
+        assert!(t.b.iter().flatten().all(|s| s.len() == 4));
+        assert_eq!(t.c.len(), 4);
+        assert!(t.c.iter().all(|s| s.len() == 16));
+        assert_eq!(t.d.len(), 64);
+        assert_eq!(t.e.len(), 4);
+        assert!(t.i_seqs.iter().all(|s| s.len() == 16));
+        assert_eq!(t.s.len(), 64);
+    }
+}

@@ -1,0 +1,103 @@
+//! Zero-one-principle validation harness (Knuth, cited as \[15\] by the
+//! paper).
+//!
+//! The multiway merge is *oblivious*: its data movements are fixed and its
+//! only data-dependent operations are compare-exchanges plus calls to an
+//! assumed-correct `N²`-key sorter (which can itself be realized as a
+//! comparator network). By the zero-one principle, if the merge sorts
+//! every 0/1 input it sorts every input. A sorted 0/1 input sequence of
+//! length `m` is characterized by its number of zeros, so the *entire*
+//! input space of the merge is the `(m+1)^N` zero-count vectors — small
+//! enough to enumerate exhaustively for the parameters used in tests.
+
+use crate::counters::Counters;
+use crate::merge::{multiway_merge, BaseSorter};
+
+/// Iterator over all zero-count vectors `(z_0, …, z_{N-1})` with
+/// `0 ≤ z_u ≤ m` — i.e. all sorted 0/1 inputs of a merge of `n` sequences
+/// of length `m`.
+pub fn zero_count_vectors(n: usize, m: usize) -> impl Iterator<Item = Vec<usize>> {
+    let total = (m as u64 + 1).pow(n as u32);
+    (0..total).map(move |mut code| {
+        (0..n)
+            .map(|_| {
+                let z = (code % (m as u64 + 1)) as usize;
+                code /= m as u64 + 1;
+                z
+            })
+            .collect()
+    })
+}
+
+/// Materialize the sorted 0/1 input with the given zero counts.
+#[must_use]
+pub fn zero_one_inputs(counts: &[usize], m: usize) -> Vec<Vec<u8>> {
+    counts
+        .iter()
+        .map(|&z| {
+            assert!(z <= m);
+            let mut s = vec![0u8; z];
+            s.resize(m, 1);
+            s
+        })
+        .collect()
+}
+
+/// Exhaustively verify the multiway merge over every 0/1 input for the
+/// given `n` and `m`; returns the number of inputs checked.
+///
+/// # Panics
+///
+/// Panics (with the failing zero-count vector) if any input is missorted —
+/// by the zero-one principle this would disprove the algorithm.
+pub fn exhaustive_merge_check<S: BaseSorter<u8>>(n: usize, m: usize, sorter: &S) -> u64 {
+    let mut checked = 0u64;
+    for counts in zero_count_vectors(n, m) {
+        let inputs = zero_one_inputs(&counts, m);
+        let mut c = Counters::new();
+        let out = multiway_merge(&inputs, sorter, &mut c);
+        let zeros: usize = counts.iter().sum();
+        let ok = out[..zeros].iter().all(|&x| x == 0) && out[zeros..].iter().all(|&x| x == 1);
+        assert!(ok, "merge missorted 0/1 input with zero counts {counts:?}");
+        checked += 1;
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::StdBaseSorter;
+
+    #[test]
+    fn enumerates_all_vectors() {
+        let all: Vec<_> = zero_count_vectors(2, 3).collect();
+        assert_eq!(all.len(), 16); // (3+1)^2
+        assert!(all.contains(&vec![0, 0]));
+        assert!(all.contains(&vec![3, 3]));
+        assert!(all.contains(&vec![2, 1]));
+    }
+
+    #[test]
+    fn inputs_are_sorted_zero_one() {
+        let ins = zero_one_inputs(&[2, 0, 4], 4);
+        assert_eq!(ins[0], vec![0, 0, 1, 1]);
+        assert_eq!(ins[1], vec![1, 1, 1, 1]);
+        assert_eq!(ins[2], vec![0, 0, 0, 0]);
+    }
+
+    /// Exhaustive correctness proof of the merge (modulo base-sorter
+    /// correctness) for several `(N, m)`:
+    /// by the zero-one principle these checks cover *all* inputs.
+    #[test]
+    fn merge_sorts_every_zero_one_input() {
+        assert_eq!(exhaustive_merge_check(2, 2, &StdBaseSorter), 9);
+        assert_eq!(exhaustive_merge_check(2, 4, &StdBaseSorter), 25);
+        assert_eq!(exhaustive_merge_check(2, 8, &StdBaseSorter), 81);
+        assert_eq!(exhaustive_merge_check(2, 16, &StdBaseSorter), 289);
+        assert_eq!(exhaustive_merge_check(3, 3, &StdBaseSorter), 64);
+        assert_eq!(exhaustive_merge_check(3, 9, &StdBaseSorter), 1000);
+        assert_eq!(exhaustive_merge_check(3, 27, &StdBaseSorter), 21_952);
+        assert_eq!(exhaustive_merge_check(4, 16, &StdBaseSorter), 83_521);
+    }
+}

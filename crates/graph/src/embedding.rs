@@ -1,0 +1,316 @@
+//! Linear-array embeddings of arbitrary connected graphs.
+//!
+//! Section 2 of the paper: if the factor graph has no Hamiltonian path "it
+//! is always possible to embed a linear array in `G` with dilation three and
+//! congestion two" — this is Sekanina's theorem (the cube of every connected
+//! graph is Hamiltonian-connected), and the Corollary's universal
+//! `18(r-1)²N` bound rests on the same construction applied per dimension.
+//!
+//! [`LinearEmbedding::best`] finds a Hamiltonian path when it can
+//! (dilation 1) and otherwise constructs the Sekanina ordering on a BFS
+//! spanning tree (dilation ≤ 3, verified).
+
+use crate::graph::Graph;
+use crate::hamiltonian::hamiltonian_path;
+use crate::traversal::{bfs_distances, spanning_tree};
+
+/// A linear ordering of a graph's nodes with bounded dilation: consecutive
+/// nodes of `order` are within graph distance `dilation` of each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearEmbedding {
+    /// All nodes, each exactly once; consecutive entries are "neighbors" of
+    /// the embedded linear array.
+    pub order: Vec<u32>,
+    /// Maximum graph distance between consecutive entries (1 for a
+    /// Hamiltonian path, ≤ 3 always).
+    pub dilation: u32,
+}
+
+impl LinearEmbedding {
+    /// Best available linear embedding: Hamiltonian path if found (dilation
+    /// 1), otherwise the Sekanina ordering of a BFS spanning tree (dilation
+    /// ≤ 3).
+    ///
+    /// ```
+    /// use pns_graph::{factories, LinearEmbedding};
+    ///
+    /// // The Petersen graph is Hamiltonian-traceable: dilation 1.
+    /// assert_eq!(LinearEmbedding::best(&factories::petersen()).dilation, 1);
+    /// // A star has no Hamiltonian path, but Sekanina keeps dilation ≤ 3.
+    /// assert!(LinearEmbedding::best(&factories::star(6)).dilation <= 3);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    #[must_use]
+    pub fn best(g: &Graph) -> Self {
+        if let Some(order) = hamiltonian_path(g) {
+            return LinearEmbedding { order, dilation: 1 };
+        }
+        let order = sekanina_order(g);
+        let dilation = measure_dilation(g, &order);
+        assert!(
+            dilation <= 3,
+            "Sekanina ordering must have dilation ≤ 3, measured {dilation}"
+        );
+        LinearEmbedding { order, dilation }
+    }
+
+    /// Best available *cyclic* embedding (for emulating the cycle / torus,
+    /// as in the Corollary): a Hamiltonian cycle if found, otherwise the
+    /// Sekanina ordering, whose endpoints are a tree edge apart, so the
+    /// wrap-around hop also has distance ≤ 3 (in fact 1).
+    ///
+    /// The reported `dilation` includes the wrap-around hop from the last
+    /// node back to the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or has fewer than 3 nodes.
+    #[must_use]
+    pub fn best_cycle(g: &Graph) -> Self {
+        if let Some(order) = crate::hamiltonian::hamiltonian_cycle(g) {
+            return LinearEmbedding { order, dilation: 1 };
+        }
+        let order = sekanina_order(g);
+        let mut dilation = measure_dilation(g, &order);
+        let close = bfs_distances(g, order[0])[*order.last().expect("non-empty order") as usize];
+        dilation = dilation.max(close);
+        assert!(
+            dilation <= 3,
+            "cyclic Sekanina dilation ≤ 3, got {dilation}"
+        );
+        LinearEmbedding { order, dilation }
+    }
+
+    /// The inverse map: `position_of[v]` is the linear-array position of
+    /// node `v`.
+    #[must_use]
+    pub fn positions(&self) -> Vec<u32> {
+        let mut pos = vec![0u32; self.order.len()];
+        for (i, &v) in self.order.iter().enumerate() {
+            pos[v as usize] = i as u32;
+        }
+        pos
+    }
+}
+
+/// Maximum graph distance between consecutive entries of `order`.
+#[must_use]
+pub fn measure_dilation(g: &Graph, order: &[u32]) -> u32 {
+    let mut max = 0;
+    for w in order.windows(2) {
+        let d = bfs_distances(g, w[0])[w[1] as usize];
+        assert!(d != u32::MAX, "order spans disconnected nodes");
+        max = max.max(d);
+    }
+    max
+}
+
+/// Sekanina ordering of the nodes of a connected graph `g`: a Hamiltonian
+/// path of `T³` for a BFS spanning tree `T` of `g`, so consecutive nodes
+/// are within distance 3 in `T` (hence in `g`).
+///
+/// Construction (induction on the classic proof): for a tree edge `(u, v)`,
+/// a Hamiltonian path of `T³` from `u` to `v` is obtained by deleting
+/// `(u, v)`, recursing on the component of `u` from `u` to one of its
+/// remaining neighbors `u'`, recursing on the component of `v` from `v` to
+/// one of its remaining neighbors `v'`, and concatenating
+/// `P(u → u') · reverse(P(v → v'))`; the junction `u' → v'` has distance at
+/// most 3 via `u' – u – v – v'`.
+#[must_use]
+pub fn sekanina_order(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    if n == 1 {
+        return vec![0];
+    }
+    let parent = spanning_tree(g, 0);
+    // Tree adjacency.
+    let mut tadj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 1..n as u32 {
+        let p = parent[v as usize];
+        tadj[v as usize].push(p);
+        tadj[p as usize].push(v);
+    }
+    let u = 0u32;
+    let v = tadj[0][0];
+    let mut allowed = vec![true; n];
+    let order = ham3(&tadj, &mut allowed, u, v);
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Hamiltonian path of `T³` restricted to the `allowed` component, from `u`
+/// to (ending near) `v`, where `(u, v)` is a tree edge with both endpoints
+/// allowed. Consumes the allowed flags of the emitted nodes.
+fn ham3(tadj: &[Vec<u32>], allowed: &mut [bool], u: u32, v: u32) -> Vec<u32> {
+    // Split the allowed component by removing edge (u, v).
+    let cu = component_without(tadj, allowed, u, v);
+    // Path through u's side, from u toward a neighbor of u.
+    let pu = side_path(tadj, allowed, &cu, u);
+    // Mark u's side as consumed before recursing on v's side.
+    for &x in &cu {
+        allowed[x as usize] = false;
+    }
+    let cv = component_without(tadj, allowed, v, u);
+    let mut pv = side_path(tadj, allowed, &cv, v);
+    for &x in &cv {
+        allowed[x as usize] = false;
+    }
+    pv.reverse(); // path … → v becomes the tail
+    let mut out = pu;
+    out.extend(pv);
+    out
+}
+
+/// Hamiltonian path of `T³` within component `comp` (which contains `root`),
+/// starting at `root` and ending at a tree-neighbor of `root` (or at `root`
+/// itself if the component is a single node).
+fn side_path(tadj: &[Vec<u32>], allowed: &mut [bool], comp: &[u32], root: u32) -> Vec<u32> {
+    if comp.len() == 1 {
+        return vec![root];
+    }
+    let mut in_comp = vec![false; tadj.len()];
+    for &x in comp {
+        in_comp[x as usize] = true;
+    }
+    let next = tadj[root as usize]
+        .iter()
+        .copied()
+        .find(|&w| in_comp[w as usize] && allowed[w as usize])
+        .expect("multi-node component has a tree neighbor of its root");
+    // Recurse within the component only.
+    let mut sub_allowed: Vec<bool> = allowed.to_vec();
+    for (i, a) in sub_allowed.iter_mut().enumerate() {
+        *a = *a && in_comp[i];
+    }
+    ham3(tadj, &mut sub_allowed, root, next)
+}
+
+/// Nodes of the allowed component containing `root` when tree edge
+/// `(root, other)` is removed.
+fn component_without(tadj: &[Vec<u32>], allowed: &[bool], root: u32, other: u32) -> Vec<u32> {
+    let mut seen = vec![false; tadj.len()];
+    let mut stack = vec![root];
+    let mut comp = Vec::new();
+    seen[root as usize] = true;
+    while let Some(x) = stack.pop() {
+        comp.push(x);
+        for &w in &tadj[x as usize] {
+            if x == root && w == other {
+                continue; // the removed edge
+            }
+            if allowed[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factories;
+
+    fn check_embedding(g: &Graph) {
+        let emb = LinearEmbedding::best(g);
+        assert_eq!(emb.order.len(), g.n());
+        let mut seen = vec![false; g.n()];
+        for &v in &emb.order {
+            assert!(!seen[v as usize], "node repeated");
+            seen[v as usize] = true;
+        }
+        assert!(emb.dilation <= 3);
+        assert_eq!(measure_dilation(g, &emb.order), emb.dilation);
+    }
+
+    #[test]
+    fn hamiltonian_factors_get_dilation_one() {
+        for g in [
+            factories::path(8),
+            factories::cycle(9),
+            factories::complete(5),
+            factories::petersen(),
+            factories::de_bruijn(4),
+        ] {
+            let emb = LinearEmbedding::best(&g);
+            assert_eq!(emb.dilation, 1, "{g:?}");
+            check_embedding(&g);
+        }
+    }
+
+    #[test]
+    fn trees_get_dilation_at_most_three() {
+        for levels in 2..=6 {
+            let g = factories::complete_binary_tree(levels);
+            check_embedding(&g);
+        }
+        check_embedding(&factories::star(9));
+    }
+
+    #[test]
+    fn random_graphs_embed() {
+        for seed in 0..10 {
+            let g = factories::random_connected(23, 4, seed);
+            check_embedding(&g);
+        }
+    }
+
+    #[test]
+    fn sekanina_on_a_path_is_still_valid() {
+        // Degenerate tree: the spanning tree of a path is the path itself.
+        let g = factories::path(7);
+        let order = sekanina_order(&g);
+        assert_eq!(order.len(), 7);
+        assert!(measure_dilation(&g, &order) <= 3);
+    }
+
+    #[test]
+    fn positions_is_inverse_of_order() {
+        let g = factories::complete_binary_tree(4);
+        let emb = LinearEmbedding::best(&g);
+        let pos = emb.positions();
+        for (i, &v) in emb.order.iter().enumerate() {
+            assert_eq!(pos[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::from_edges(1, &[]);
+        assert_eq!(sekanina_order(&g), vec![0]);
+    }
+
+    fn check_cycle_embedding(g: &Graph, max_dilation: u32) {
+        let emb = LinearEmbedding::best_cycle(g);
+        assert_eq!(emb.order.len(), g.n());
+        assert!(emb.dilation <= max_dilation, "{g:?}: {}", emb.dilation);
+        let linear = measure_dilation(g, &emb.order);
+        assert!(linear <= emb.dilation);
+        let close =
+            crate::traversal::bfs_distances(g, emb.order[0])[*emb.order.last().unwrap() as usize];
+        assert!(close <= emb.dilation, "wrap-around hop too long");
+    }
+
+    #[test]
+    fn cycle_embedding_of_hamiltonian_graphs() {
+        check_cycle_embedding(&factories::cycle(8), 1);
+        check_cycle_embedding(&factories::complete(6), 1);
+        check_cycle_embedding(&factories::de_bruijn(3), 1);
+    }
+
+    #[test]
+    fn cycle_embedding_of_petersen_uses_sekanina() {
+        // Petersen is hypohamiltonian: Hamiltonian path yes, cycle no.
+        check_cycle_embedding(&factories::petersen(), 3);
+    }
+
+    #[test]
+    fn cycle_embedding_of_trees() {
+        check_cycle_embedding(&factories::complete_binary_tree(4), 3);
+        check_cycle_embedding(&factories::star(7), 3);
+    }
+}

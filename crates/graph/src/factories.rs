@@ -1,0 +1,387 @@
+//! Standard factor graphs.
+//!
+//! These are the factor graphs from which the paper's Section 5 networks are
+//! built: the path (grids), the cycle (tori), `K_2` (hypercubes), the
+//! complete binary tree (mesh-connected trees), the Petersen graph (Petersen
+//! cubes), and binary de Bruijn / shuffle-exchange graphs. A seeded random
+//! connected graph is provided for the Corollary's "any connected factor"
+//! experiments.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Path (linear array) `0 — 1 — … — n-1`.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+    Graph::from_edges_named(n, &edges, &format!("path{n}"))
+}
+
+/// Cycle `0 — 1 — … — n-1 — 0`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+    edges.push((n as u32 - 1, 0));
+    Graph::from_edges_named(n, &edges, &format!("cycle{n}"))
+}
+
+/// Complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_edges_named(n, &edges, &format!("K{n}"))
+}
+
+/// Star with center `0` and `n - 1` leaves.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+    Graph::from_edges_named(n, &edges, &format!("star{n}"))
+}
+
+/// `K_2`, the factor graph of the hypercube (`PG_r` of `K_2` is the
+/// `r`-dimensional binary hypercube).
+#[must_use]
+pub fn k2() -> Graph {
+    Graph::from_edges_named(2, &[(0, 1)], "K2")
+}
+
+/// Complete binary tree with `levels ≥ 1` levels (`2^levels - 1` nodes),
+/// nodes numbered in level order (heap layout: children of `v` are
+/// `2v + 1`, `2v + 2`).
+///
+/// `PG_r` of this graph is the mesh-connected-trees network of Section 5.2.
+#[must_use]
+pub fn complete_binary_tree(levels: usize) -> Graph {
+    assert!(levels >= 1);
+    let n = (1usize << levels) - 1;
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as u32 {
+        edges.push(((v - 1) / 2, v));
+    }
+    Graph::from_edges_named(n, &edges, &format!("cbt{levels}"))
+}
+
+/// The Petersen graph (Fig. 16 of the paper): outer 5-cycle `0–4`, inner
+/// 5-cycle (pentagram) `5–9`, spokes `i — i+5`.
+#[must_use]
+pub fn petersen() -> Graph {
+    let mut edges = Vec::with_capacity(15);
+    for i in 0..5u32 {
+        edges.push((i, (i + 1) % 5)); // outer cycle
+        edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
+        edges.push((i, i + 5)); // spokes
+    }
+    Graph::from_edges_named(10, &edges, "petersen")
+}
+
+/// Binary de Bruijn graph `B(2, bits)` on `2^bits` nodes, undirected: node
+/// `v` connects to `(2v) mod 2^bits` and `(2v + 1) mod 2^bits` (shift edges
+/// in both directions; self-loops at `00…0` and `11…1` are dropped).
+#[must_use]
+pub fn de_bruijn(bits: usize) -> Graph {
+    assert!(bits >= 1);
+    let n = 1usize << bits;
+    let mask = (n - 1) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for v in 0..n as u32 {
+        edges.push((v, (v << 1) & mask));
+        edges.push((v, ((v << 1) | 1) & mask));
+    }
+    Graph::from_edges_named(n, &edges, &format!("debruijn{bits}"))
+}
+
+/// Binary shuffle-exchange graph on `2^bits` nodes: *exchange* edges flip
+/// the lowest bit, *shuffle* edges rotate left by one bit.
+#[must_use]
+pub fn shuffle_exchange(bits: usize) -> Graph {
+    assert!(bits >= 1);
+    let n = 1usize << bits;
+    let mask = (n - 1) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for v in 0..n as u32 {
+        edges.push((v, v ^ 1)); // exchange
+        let shuffled = ((v << 1) & mask) | (v >> (bits - 1)); // rotate left
+        edges.push((v, shuffled)); // shuffle
+    }
+    Graph::from_edges_named(n, &edges, &format!("shufflex{bits}"))
+}
+
+/// Generalized Petersen graph `GP(n, k)`: outer cycle `0 … n-1`, inner
+/// nodes `n … 2n-1` connected as `n+i — n+((i+k) mod n)`, spokes
+/// `i — n+i`. `GP(5, 2)` is the Petersen graph.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 3` and `1 ≤ k < n/2` (the standard validity range,
+/// which keeps the graph simple and 3-regular).
+#[must_use]
+pub fn generalized_petersen(n: usize, k: usize) -> Graph {
+    assert!(n >= 3 && k >= 1 && 2 * k < n, "GP(n,k) needs 1 ≤ k < n/2");
+    let n32 = n as u32;
+    let mut edges = Vec::with_capacity(3 * n);
+    for i in 0..n32 {
+        edges.push((i, (i + 1) % n32));
+        edges.push((n32 + i, n32 + (i + k as u32) % n32));
+        edges.push((i, n32 + i));
+    }
+    Graph::from_edges_named(2 * n, &edges, &format!("gp{n}_{k}"))
+}
+
+/// Circulant graph `C_n(offsets)`: node `v` connects to `v ± s (mod n)`
+/// for every offset `s`.
+///
+/// # Panics
+///
+/// Panics if an offset is 0 or ≥ n.
+#[must_use]
+pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
+    let mut edges = Vec::with_capacity(n * offsets.len());
+    for &s in offsets {
+        assert!(s >= 1 && s < n, "offset {s} out of range");
+        for v in 0..n as u32 {
+            edges.push((v, (v + s as u32) % n as u32));
+        }
+    }
+    Graph::from_edges_named(n, &edges, &format!("circ{n}x{}", offsets.len()))
+}
+
+/// Complete bipartite graph `K_{a,b}`: nodes `0 … a-1` vs `a … a+b-1`.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for x in 0..a as u32 {
+        for y in 0..b as u32 {
+            edges.push((x, a as u32 + y));
+        }
+    }
+    Graph::from_edges_named(a + b, &edges, &format!("K{a}_{b}"))
+}
+
+/// Wheel `W_n`: a hub (node 0) connected to every node of an
+/// `(n-1)`-cycle.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 4`.
+#[must_use]
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "a wheel needs at least 4 nodes");
+    let rim = (n - 1) as u32;
+    let mut edges = Vec::with_capacity(2 * (n - 1));
+    for i in 0..rim {
+        edges.push((0, 1 + i));
+        edges.push((1 + i, 1 + (i + 1) % rim));
+    }
+    Graph::from_edges_named(n, &edges, &format!("wheel{n}"))
+}
+
+/// Two-dimensional grid graph `w × h` (as a *factor* graph — the paper's
+/// products are built from arbitrary connected factors, grids included).
+/// Node `(x, y)` has rank `y·w + x`.
+#[must_use]
+pub fn grid2d(w: usize, h: usize) -> Graph {
+    let mut edges = Vec::with_capacity(2 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as u32;
+            if x + 1 < w {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < h {
+                edges.push((v, v + w as u32));
+            }
+        }
+    }
+    Graph::from_edges_named(w * h, &edges, &format!("grid{w}x{h}"))
+}
+
+/// A random connected graph: a random spanning tree plus `extra_edges`
+/// random non-tree edges. Deterministic for a given seed.
+#[must_use]
+pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    let mut edges = Vec::with_capacity(n - 1 + extra_edges);
+    // Random tree: attach each node (after the first, in shuffled order) to
+    // a uniformly random earlier node.
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        edges.push((order[j], order[i]));
+    }
+    for _ in 0..extra_edges {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_edges_named(n, &edges, &format!("rand{n}s{seed}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(5, 0));
+        assert!(g.degree_sequence().iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(6).edge_count(), 15);
+    }
+
+    #[test]
+    fn tree_structure() {
+        let g = complete_binary_tree(3);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 6));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn petersen_is_3_regular_with_15_edges() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.degree_sequence().iter().all(|&d| d == 3));
+        // Petersen has girth 5: no triangles through node 0.
+        for &a in g.neighbors(0) {
+            for &b in g.neighbors(0) {
+                if a < b {
+                    assert!(!g.has_edge(a, b), "triangle {a}-{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn de_bruijn_connected_and_bounded_degree() {
+        for bits in 1..=6 {
+            let g = de_bruijn(bits);
+            assert_eq!(g.n(), 1 << bits);
+            assert!(is_connected(&g));
+            assert!(g.max_degree() <= 4);
+        }
+    }
+
+    #[test]
+    fn shuffle_exchange_connected_and_bounded_degree() {
+        for bits in 2..=6 {
+            let g = shuffle_exchange(bits);
+            assert!(is_connected(&g));
+            assert!(g.max_degree() <= 3, "SE degree ≤ 3, got {}", g.max_degree());
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in 0..8 {
+            let g = random_connected(17, 5, seed);
+            assert!(is_connected(&g));
+            let h = random_connected(17, 5, seed);
+            let ge: Vec<_> = g.edges().collect();
+            let he: Vec<_> = h.edges().collect();
+            assert_eq!(ge, he, "same seed must give same graph");
+        }
+    }
+
+    #[test]
+    fn star_is_connected_tree() {
+        let g = star(9);
+        assert_eq!(g.edge_count(), 8);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(0), 8);
+    }
+
+    #[test]
+    fn gp_5_2_is_the_petersen_graph() {
+        let gp = generalized_petersen(5, 2);
+        let p = petersen();
+        assert_eq!(gp.n(), p.n());
+        assert_eq!(gp.edge_count(), p.edge_count());
+        // Identical adjacency under the shared labeling convention.
+        for a in 0..10u32 {
+            for b in 0..10u32 {
+                assert_eq!(gp.has_edge(a, b), p.has_edge(a, b), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_petersen_is_3_regular() {
+        for (n, k) in [(7usize, 2usize), (8, 3), (11, 4)] {
+            let g = generalized_petersen(n, k);
+            assert!(g.degree_sequence().iter().all(|&d| d == 3), "GP({n},{k})");
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn circulant_structure() {
+        let g = circulant(8, &[1, 3]);
+        assert!(is_connected(&g));
+        assert!(g.degree_sequence().iter().all(|&d| d == 4));
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(0, 5)); // 0 - 3 backwards
+        assert!(!g.has_edge(0, 2));
+        // Offset n/2 gives degree 3 (self-paired), still valid.
+        let h = circulant(6, &[3]);
+        assert!(h.degree_sequence().iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.edge_count(), 12);
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(6);
+        assert_eq!(g.edge_count(), 10); // 5 spokes + 5 rim
+        assert_eq!(g.degree(0), 5);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid2d_structure() {
+        let g = grid2d(3, 2);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.edge_count(), 7); // 2*2 horizontal + 3 vertical
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(2, 3)); // row wrap
+        assert!(is_connected(&g));
+    }
+}

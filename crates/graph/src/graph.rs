@@ -1,0 +1,223 @@
+//! Undirected graph representation used for factor graphs.
+//!
+//! Factor graphs are small (tens of nodes) but are queried heavily — every
+//! adjacency test in the product network reduces to an adjacency test in the
+//! factor — so neighbor lists are kept sorted and deduplicated, and
+//! [`Graph::has_edge`] is a binary search.
+
+use std::fmt;
+
+/// An undirected simple graph with nodes `0 … n-1`.
+///
+/// Self-loops and parallel edges supplied at construction are dropped
+/// (relevant for de Bruijn and shuffle-exchange graphs, whose natural
+/// definitions produce both).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+    name: String,
+}
+
+impl Graph {
+    /// Build a graph with `n` nodes from an edge list.
+    ///
+    /// Duplicate edges (in either orientation) and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `≥ n`.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        Self::from_edges_named(n, edges, "graph")
+    }
+
+    /// As [`Graph::from_edges`], with a human-readable name used in Debug
+    /// output and experiment reports.
+    #[must_use]
+    pub fn from_edges_named(n: usize, edges: &[(u32, u32)], name: &str) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a}, {b}) out of range for {n} nodes"
+            );
+            if a == b {
+                continue;
+            }
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut edge_count = 0;
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            edge_count += list.len();
+        }
+        Graph {
+            adj,
+            edge_count: edge_count / 2,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Number of nodes `N`.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Human-readable name given at construction.
+    #[inline]
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all nodes.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `true` iff `(a, b)` is an edge. `O(log deg)`.
+    #[inline]
+    #[must_use]
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Iterate over every undirected edge once, as `(low, high)` pairs in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(v, list)| {
+            let v = v as u32;
+            list.iter()
+                .copied()
+                .filter(move |&w| v < w)
+                .map(move |w| (v, w))
+        })
+    }
+
+    /// Degree sequence, descending. Useful as a cheap isomorphism
+    /// invariant in tests.
+    #[must_use]
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+
+    /// Relabel nodes by `perm` (`perm[old] = new`), returning the
+    /// isomorphic graph. Used to install Hamiltonian-path / linear-array
+    /// labelings as recommended in Section 2 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0 … n-1`.
+    #[must_use]
+    pub fn relabeled(&self, perm: &[u32]) -> Graph {
+        let n = self.n();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!((p as usize) < n && !seen[p as usize], "not a permutation");
+            seen[p as usize] = true;
+        }
+        let edges: Vec<(u32, u32)> = self
+            .edges()
+            .map(|(a, b)| (perm[a as usize], perm[b as usize]))
+            .collect();
+        Graph::from_edges_named(n, &edges, &self.name)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({}, n={}, m={})",
+            self.name,
+            self.n(),
+            self.edge_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn drops_self_loops_and_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 5);
+        assert!(es.iter().all(|&(a, b)| a < b));
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let h = g.relabeled(&[3, 2, 1, 0]);
+        assert_eq!(h.edge_count(), 3);
+        assert!(h.has_edge(3, 2));
+        assert!(h.has_edge(2, 1));
+        assert!(h.has_edge(1, 0));
+        assert_eq!(g.degree_sequence(), h.degree_sequence());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let _ = g.relabeled(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Hamiltonian-path search on small factor graphs.
+//!
+//! Section 2 of the paper: "if `G` contains a Hamiltonian path, then it is
+//! beneficial (although not required for the correctness of the proposed
+//! sorting algorithm) to label the nodes in the order they appear in the
+//! Hamiltonian path". Factor graphs are small (≤ a few dozen nodes), so an
+//! exact backtracking search with cheap pruning is entirely adequate; the
+//! search is budgeted so non-Hamiltonian graphs fail fast instead of
+//! exploding.
+
+use crate::graph::Graph;
+use crate::traversal::is_connected;
+
+/// Default node-expansion budget for [`hamiltonian_path`].
+pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// Find a Hamiltonian path in `g`, trying every start node, with the
+/// default search budget. Returns the node sequence, or `None` if no path
+/// was found (either none exists or the budget ran out).
+#[must_use]
+pub fn hamiltonian_path(g: &Graph) -> Option<Vec<u32>> {
+    hamiltonian_path_budgeted(g, DEFAULT_BUDGET)
+}
+
+/// As [`hamiltonian_path`] with an explicit expansion budget.
+#[must_use]
+pub fn hamiltonian_path_budgeted(g: &Graph, budget: u64) -> Option<Vec<u32>> {
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(vec![0]);
+    }
+    if !is_connected(g) {
+        return None;
+    }
+    // Bipartite-imbalance prune: a Hamiltonian path alternates sides, so a
+    // bipartite graph with part sizes differing by more than one has none.
+    // This kills complete binary trees and stars instantly.
+    if let Some((a, b)) = bipartition_sizes(g) {
+        if a.abs_diff(b) > 1 {
+            return None;
+        }
+    }
+    let mut budget = budget;
+    // Start from low-degree nodes first: a Hamiltonian path must end at
+    // degree-1 nodes if any exist.
+    let mut starts: Vec<u32> = (0..n as u32).collect();
+    starts.sort_by_key(|&v| g.degree(v));
+    for s in starts {
+        let mut visited = vec![false; n];
+        let mut path = Vec::with_capacity(n);
+        visited[s as usize] = true;
+        path.push(s);
+        if extend(g, &mut path, &mut visited, &mut budget) {
+            return Some(path);
+        }
+        if budget == 0 {
+            return None;
+        }
+    }
+    None
+}
+
+/// If `g` is bipartite, the sizes of its two parts.
+fn bipartition_sizes(g: &Graph) -> Option<(usize, usize)> {
+    let n = g.n();
+    let mut color = vec![u8::MAX; n];
+    let mut counts = (0usize, 0usize);
+    for start in 0..n as u32 {
+        if color[start as usize] != u8::MAX {
+            continue;
+        }
+        color[start as usize] = 0;
+        counts.0 += 1;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            let cv = color[v as usize];
+            for &w in g.neighbors(v) {
+                match color[w as usize] {
+                    u8::MAX => {
+                        color[w as usize] = 1 - cv;
+                        if cv == 0 {
+                            counts.1 += 1;
+                        } else {
+                            counts.0 += 1;
+                        }
+                        stack.push(w);
+                    }
+                    c if c == cv => return None, // odd cycle
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(counts)
+}
+
+fn extend(g: &Graph, path: &mut Vec<u32>, visited: &mut [bool], budget: &mut u64) -> bool {
+    if path.len() == g.n() {
+        return true;
+    }
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let v = *path.last().expect("path is non-empty");
+    // Warnsdorff-style ordering: try the unvisited neighbor with fewest
+    // remaining options first.
+    let mut nexts: Vec<u32> = g
+        .neighbors(v)
+        .iter()
+        .copied()
+        .filter(|&w| !visited[w as usize])
+        .collect();
+    nexts.sort_by_key(|&w| {
+        g.neighbors(w)
+            .iter()
+            .filter(|&&x| !visited[x as usize])
+            .count()
+    });
+    for w in nexts {
+        // Dead-end prune: stepping to `w` must not strand an unvisited
+        // neighbor of `v` with zero remaining unvisited neighbors.
+        visited[w as usize] = true;
+        path.push(w);
+        if extend(g, path, visited, budget) {
+            return true;
+        }
+        path.pop();
+        visited[w as usize] = false;
+        if *budget == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// Find a Hamiltonian cycle in `g` (returned as a node sequence whose last
+/// element is also adjacent to its first), with the default budget.
+///
+/// Returns `None` if no cycle was found (either none exists or the budget
+/// ran out). Note the Petersen graph is the classic graph with Hamiltonian
+/// paths but no Hamiltonian cycle.
+#[must_use]
+pub fn hamiltonian_cycle(g: &Graph) -> Option<Vec<u32>> {
+    hamiltonian_cycle_budgeted(g, DEFAULT_BUDGET)
+}
+
+/// As [`hamiltonian_cycle`] with an explicit expansion budget.
+#[must_use]
+pub fn hamiltonian_cycle_budgeted(g: &Graph, budget: u64) -> Option<Vec<u32>> {
+    let n = g.n();
+    if n < 3 || !is_connected(g) {
+        return None;
+    }
+    // A Hamiltonian cycle alternates bipartition sides exactly, so both
+    // sides must be equal in a bipartite graph.
+    if let Some((a, b)) = bipartition_sizes(g) {
+        if a != b {
+            return None;
+        }
+    }
+    // Fix node 0 as the start; search for a path covering everything whose
+    // endpoint is adjacent to 0.
+    let mut budget = budget;
+    let mut visited = vec![false; n];
+    let mut path = Vec::with_capacity(n);
+    visited[0] = true;
+    path.push(0);
+    if extend_cycle(g, &mut path, &mut visited, &mut budget) {
+        return Some(path);
+    }
+    None
+}
+
+fn extend_cycle(g: &Graph, path: &mut Vec<u32>, visited: &mut [bool], budget: &mut u64) -> bool {
+    if path.len() == g.n() {
+        return g.has_edge(*path.last().expect("non-empty"), path[0]);
+    }
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let v = *path.last().expect("path is non-empty");
+    let mut nexts: Vec<u32> = g
+        .neighbors(v)
+        .iter()
+        .copied()
+        .filter(|&w| !visited[w as usize])
+        .collect();
+    nexts.sort_by_key(|&w| {
+        g.neighbors(w)
+            .iter()
+            .filter(|&&x| !visited[x as usize])
+            .count()
+    });
+    for w in nexts {
+        visited[w as usize] = true;
+        path.push(w);
+        if extend_cycle(g, path, visited, budget) {
+            return true;
+        }
+        path.pop();
+        visited[w as usize] = false;
+        if *budget == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// Verify that `order` is a Hamiltonian path of `g`.
+#[must_use]
+pub fn is_hamiltonian_path(g: &Graph, order: &[u32]) -> bool {
+    if order.len() != g.n() {
+        return false;
+    }
+    let mut seen = vec![false; g.n()];
+    for &v in order {
+        if (v as usize) >= g.n() || seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    order.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factories;
+
+    #[test]
+    fn path_graph_is_its_own_hamiltonian_path() {
+        let g = factories::path(6);
+        let p = hamiltonian_path(&g).unwrap();
+        assert!(is_hamiltonian_path(&g, &p));
+    }
+
+    #[test]
+    fn cycle_and_complete_have_paths() {
+        for g in [factories::cycle(7), factories::complete(6)] {
+            let p = hamiltonian_path(&g).unwrap();
+            assert!(is_hamiltonian_path(&g, &p), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn petersen_has_a_hamiltonian_path() {
+        // The Petersen graph is hypohamiltonian: no Hamiltonian cycle, but
+        // it does have Hamiltonian paths (Section 5.4 relies on this).
+        let g = factories::petersen();
+        let p = hamiltonian_path(&g).unwrap();
+        assert!(is_hamiltonian_path(&g, &p));
+    }
+
+    #[test]
+    fn de_bruijn_has_a_hamiltonian_path() {
+        for bits in 2..=5 {
+            let g = factories::de_bruijn(bits);
+            let p = hamiltonian_path(&g).unwrap();
+            assert!(is_hamiltonian_path(&g, &p), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn trees_and_stars_have_none() {
+        assert!(hamiltonian_path(&factories::complete_binary_tree(3)).is_none());
+        assert!(hamiltonian_path(&factories::complete_binary_tree(4)).is_none());
+        assert!(hamiltonian_path(&factories::star(5)).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_has_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(hamiltonian_path(&g).is_none());
+    }
+
+    #[test]
+    fn verifier_rejects_bad_orders() {
+        let g = factories::path(4);
+        assert!(!is_hamiltonian_path(&g, &[0, 1, 2])); // too short
+        assert!(!is_hamiltonian_path(&g, &[0, 1, 1, 2])); // repeat
+        assert!(!is_hamiltonian_path(&g, &[0, 2, 1, 3])); // non-edges
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, &[]);
+        assert_eq!(hamiltonian_path(&g), Some(vec![0]));
+    }
+}

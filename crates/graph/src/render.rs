@@ -1,0 +1,80 @@
+//! Rendering graphs for inspection: Graphviz DOT export and adjacency
+//! summaries. Used by the structural experiments and handy when exploring
+//! new factor graphs.
+
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Render the graph in Graphviz DOT format (undirected).
+///
+/// `highlight_path`, if given, is drawn bold — used to visualize
+/// Hamiltonian paths and linear-array embeddings.
+#[must_use]
+pub fn to_dot(g: &Graph, highlight_path: Option<&[u32]>) -> String {
+    let mut bold: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    if let Some(path) = highlight_path {
+        for w in path.windows(2) {
+            let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+            bold.insert((a, b));
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", g.name());
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in 0..g.n() as u32 {
+        let _ = writeln!(out, "  {v};");
+    }
+    for (a, b) in g.edges() {
+        if bold.contains(&(a, b)) {
+            let _ = writeln!(out, "  {a} -- {b} [penwidth=3];");
+        } else {
+            let _ = writeln!(out, "  {a} -- {b};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A compact one-line-per-node adjacency listing.
+#[must_use]
+pub fn adjacency_table(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} (n={}, m={})", g.name(), g.n(), g.edge_count());
+    for v in 0..g.n() as u32 {
+        let ns: Vec<String> = g.neighbors(v).iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "  {v}: {}", ns.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factories;
+
+    #[test]
+    fn dot_contains_every_edge() {
+        let g = factories::cycle(4);
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("graph \"cycle4\""));
+        for (a, b) in g.edges() {
+            assert!(dot.contains(&format!("{a} -- {b}")), "missing {a}--{b}");
+        }
+    }
+
+    #[test]
+    fn highlighted_path_is_bold() {
+        let g = factories::path(4);
+        let dot = to_dot(&g, Some(&[0, 1, 2, 3]));
+        assert_eq!(dot.matches("penwidth=3").count(), 3);
+    }
+
+    #[test]
+    fn adjacency_table_lists_all_nodes() {
+        let g = factories::star(4);
+        let table = adjacency_table(&g);
+        assert!(table.contains("star4"));
+        assert!(table.contains("0: 1 2 3"));
+        assert!(table.contains("3: 0"));
+    }
+}

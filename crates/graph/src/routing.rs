@@ -1,0 +1,213 @@
+//! Synchronous store-and-forward routing inside a factor graph.
+//!
+//! The odd-even transposition rounds of Step 4 compare keys held by nodes
+//! whose factor labels differ by one (`u` vs `u + 1` at some dimension).
+//! When the factor graph is labeled along a Hamiltonian path those nodes
+//! are adjacent and a transposition round is a single compare-exchange
+//! step; otherwise the paper implements the compare-exchange by
+//! *permutation routing within `G`*: the two nodes send each other their
+//! keys and then each locally keeps the minimum or maximum. This module
+//! provides the synchronous router that executes (and thereby costs) such
+//! permutations: one round lets every directed edge carry one message.
+
+use crate::graph::Graph;
+use crate::traversal::bfs_distances;
+use std::collections::HashMap;
+
+/// Result of executing a routing pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingOutcome {
+    /// Synchronous rounds until the last message arrived (0 if every
+    /// message started at its destination).
+    pub rounds: u32,
+    /// Number of messages routed.
+    pub delivered: usize,
+}
+
+/// A greedy synchronous store-and-forward router on a fixed graph.
+///
+/// Messages advance along BFS-shortest next hops; each directed edge
+/// carries at most one message per round; blocked messages wait. Because a
+/// message only ever moves strictly closer to its destination and at least
+/// one message moves every round, the router always terminates in at most
+/// (total remaining distance) rounds.
+pub struct SyncRouter<'g> {
+    g: &'g Graph,
+    /// BFS distance fields keyed by destination, computed on demand.
+    dist_cache: HashMap<u32, Vec<u32>>,
+}
+
+impl<'g> SyncRouter<'g> {
+    /// Create a router for `g`.
+    #[must_use]
+    pub fn new(g: &'g Graph) -> Self {
+        SyncRouter {
+            g,
+            dist_cache: HashMap::new(),
+        }
+    }
+
+    fn dist_to(&mut self, dst: u32) -> &Vec<u32> {
+        let g = self.g;
+        self.dist_cache
+            .entry(dst)
+            .or_insert_with(|| bfs_distances(g, dst))
+    }
+
+    /// Route every `(src, dst)` message; returns the number of synchronous
+    /// rounds taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any destination is unreachable from its source.
+    pub fn route(&mut self, messages: &[(u32, u32)]) -> RoutingOutcome {
+        #[derive(Clone, Copy)]
+        struct Msg {
+            at: u32,
+            dst: u32,
+        }
+        let mut msgs: Vec<Msg> = messages
+            .iter()
+            .map(|&(src, dst)| Msg { at: src, dst })
+            .collect();
+        for m in &msgs {
+            assert!(
+                self.dist_to(m.dst)[m.at as usize] != u32::MAX,
+                "destination {} unreachable from {}",
+                m.dst,
+                m.at
+            );
+        }
+        let n = self.g.n();
+        let mut rounds = 0u32;
+        loop {
+            if msgs.iter().all(|m| m.at == m.dst) {
+                return RoutingOutcome {
+                    rounds,
+                    delivered: messages.len(),
+                };
+            }
+            // Reserve directed edges greedily in message order.
+            let mut edge_used: HashMap<(u32, u32), ()> = HashMap::with_capacity(n);
+            let mut moved_any = false;
+            for m in msgs.iter_mut() {
+                if m.at == m.dst {
+                    continue;
+                }
+                let dist = self.dist_cache.get(&m.dst).expect("prefetched above");
+                let dc = dist[m.at as usize];
+                let next =
+                    self.g.neighbors(m.at).iter().copied().find(|&w| {
+                        dist[w as usize] + 1 == dc && !edge_used.contains_key(&(m.at, w))
+                    });
+                if let Some(w) = next {
+                    edge_used.insert((m.at, w), ());
+                    m.at = w;
+                    moved_any = true;
+                }
+            }
+            assert!(moved_any, "router made no progress");
+            rounds += 1;
+        }
+    }
+}
+
+/// Execute the key-exchange phase of a compare-exchange between node pairs
+/// of `g` (both directions of each pair are routed), returning the number
+/// of synchronous routing rounds. Adjacent pairs cost one round; pairs at
+/// distance `d` cost at least `d` rounds, more under edge contention.
+///
+/// Pairs must be disjoint (each node appears in at most one pair), as they
+/// are in an odd-even transposition round.
+pub fn route_compare_exchange(g: &Graph, pairs: &[(u32, u32)]) -> RoutingOutcome {
+    let mut seen = vec![false; g.n()];
+    for &(a, b) in pairs {
+        assert!(a != b, "degenerate pair");
+        for v in [a, b] {
+            assert!(!seen[v as usize], "pairs must be disjoint (node {v})");
+            seen[v as usize] = true;
+        }
+    }
+    let mut messages = Vec::with_capacity(pairs.len() * 2);
+    for &(a, b) in pairs {
+        messages.push((a, b));
+        messages.push((b, a));
+    }
+    SyncRouter::new(g).route(&messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factories;
+
+    #[test]
+    fn empty_routing_is_free() {
+        let g = factories::path(4);
+        let out = SyncRouter::new(&g).route(&[]);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn already_delivered_is_free() {
+        let g = factories::path(4);
+        let out = SyncRouter::new(&g).route(&[(2, 2), (0, 0)]);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn single_message_takes_distance_rounds() {
+        let g = factories::path(6);
+        let out = SyncRouter::new(&g).route(&[(0, 5)]);
+        assert_eq!(out.rounds, 5);
+        let g = factories::cycle(8);
+        let out = SyncRouter::new(&g).route(&[(0, 4)]);
+        assert_eq!(out.rounds, 4);
+    }
+
+    #[test]
+    fn adjacent_transpositions_cost_one_round() {
+        let g = factories::path(8);
+        let pairs: Vec<(u32, u32)> = (0..4).map(|i| (2 * i, 2 * i + 1)).collect();
+        let out = route_compare_exchange(&g, &pairs);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn full_reversal_on_path_within_bound() {
+        // Reversal permutation on an N-node path routes in at most N-1
+        // rounds (the paper's R(N) bound for the linear array).
+        for n in [4usize, 6, 9] {
+            let g = factories::path(n);
+            let msgs: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, n as u32 - 1 - v)).collect();
+            let out = SyncRouter::new(&g).route(&msgs);
+            assert!(out.rounds < (n as u32), "n={n}: {} rounds", out.rounds);
+        }
+    }
+
+    #[test]
+    fn cycle_permutation_within_half_n_for_rotation() {
+        // Rotating by k on an N-cycle takes min(k, N-k) rounds: every
+        // message can move in parallel around the cycle.
+        let n = 10u32;
+        let g = factories::cycle(n as usize);
+        let msgs: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 3) % n)).collect();
+        let out = SyncRouter::new(&g).route(&msgs);
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn distance_three_pairs_on_tree() {
+        let g = factories::complete_binary_tree(3);
+        // Leaves 3 and 4 share parent 1: distance 2.
+        let out = route_compare_exchange(&g, &[(3, 4)]);
+        assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_pairs_rejected() {
+        let g = factories::path(4);
+        let _ = route_compare_exchange(&g, &[(0, 1), (1, 2)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the graph substrate on random connected
+//! graphs.
+
+use pns_graph::embedding::{measure_dilation, sekanina_order, LinearEmbedding};
+use pns_graph::hamiltonian::{hamiltonian_path, is_hamiltonian_path};
+use pns_graph::routing::{route_compare_exchange, SyncRouter};
+use pns_graph::traversal::{bfs_distances, diameter, is_connected, shortest_path, spanning_tree};
+use pns_graph::{factories, Graph};
+use proptest::prelude::*;
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (3usize..20, 0usize..8, any::<u64>())
+        .prop_map(|(n, extra, seed)| factories::random_connected(n, extra, seed))
+}
+
+proptest! {
+    #[test]
+    fn random_connected_graphs_are_connected(g in random_graph()) {
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(g in random_graph()) {
+        let d0 = bfs_distances(&g, 0);
+        for (a, b) in g.edges() {
+            let (da, db) = (d0[a as usize], d0[b as usize]);
+            prop_assert!(da.abs_diff(db) <= 1, "edge endpoints differ by more than 1");
+        }
+    }
+
+    #[test]
+    fn shortest_paths_have_bfs_length(g in random_graph(), seed in any::<u64>()) {
+        let n = g.n() as u64;
+        let (src, dst) = ((seed % n) as u32, ((seed / n) % n) as u32);
+        let path = shortest_path(&g, src, dst).expect("connected");
+        prop_assert_eq!(path.len() as u32 - 1, bfs_distances(&g, src)[dst as usize]);
+        for w in path.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn spanning_tree_edges_are_graph_edges(g in random_graph()) {
+        let parent = spanning_tree(&g, 0);
+        for v in 1..g.n() as u32 {
+            prop_assert!(g.has_edge(v, parent[v as usize]));
+        }
+    }
+
+    #[test]
+    fn sekanina_order_has_dilation_at_most_three(g in random_graph()) {
+        let order = sekanina_order(&g);
+        prop_assert_eq!(order.len(), g.n());
+        prop_assert!(measure_dilation(&g, &order) <= 3);
+    }
+
+    #[test]
+    fn best_embedding_bounds(g in random_graph()) {
+        let emb = LinearEmbedding::best(&g);
+        prop_assert!(emb.dilation <= 3);
+        let pos = emb.positions();
+        for (i, &v) in emb.order.iter().enumerate() {
+            prop_assert_eq!(pos[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn found_hamiltonian_paths_verify(g in random_graph()) {
+        if let Some(p) = hamiltonian_path(&g) {
+            prop_assert!(is_hamiltonian_path(&g, &p));
+        }
+    }
+
+    #[test]
+    fn router_delivers_random_permutation(g in random_graph(), seed in any::<u64>()) {
+        let n = g.n();
+        // A pseudo-random permutation via seeded rotation composition.
+        let shift = (seed as usize) % n;
+        let msgs: Vec<(u32, u32)> = (0..n)
+            .map(|v| (v as u32, ((v + shift) % n) as u32))
+            .collect();
+        let out = SyncRouter::new(&g).route(&msgs);
+        // Any permutation routes within n * diameter rounds (loose bound).
+        prop_assert!(out.rounds <= (n as u32) * diameter(&g).max(1));
+    }
+
+    #[test]
+    fn compare_exchange_pairs_route(g in random_graph(), seed in any::<u64>()) {
+        // Pair up distinct nodes (disjoint) and route their exchange.
+        let n = g.n() as u32;
+        let a = (seed % n as u64) as u32;
+        let b = ((seed >> 16) % n as u64) as u32;
+        prop_assume!(a != b);
+        let out = route_compare_exchange(&g, &[(a, b)]);
+        let dist = bfs_distances(&g, a)[b as usize];
+        prop_assert!(out.rounds >= dist, "cannot beat distance");
+        prop_assert!(out.rounds <= 2 * dist.max(1), "two-way exchange within 2d");
+    }
+}

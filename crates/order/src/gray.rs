@@ -1,0 +1,239 @@
+//! *N*-ary reflected Gray-code sequences `Q_r` (Definition 3 of the paper).
+//!
+//! `Q_1 = (0, 1, …, N-1)` and `Q_r = CON{ [u]Q_{r-1} | u = 0, …, N-1 }`,
+//! where `[u]` prefixes every element of `Q_{r-1}` with `u` if `u` is even,
+//! and every element of the *reversed* sequence `R(Q_{r-1})` if `u` is odd.
+//!
+//! Two consecutive elements of `Q_r` differ in exactly one symbol position,
+//! and in that position by exactly one (unit Hamming distance under the
+//! paper's `D(s,z) = Σ |s_i - z_i|` metric), so consecutive elements have
+//! Hamming weights of opposite parity.
+//!
+//! Digits are stored least-significant-dimension first: `digits[i]` is the
+//! paper's symbol `x_{i+1}`; the Gray recursion splits on the *most*
+//! significant digit `digits[r-1] = x_r`.
+
+use crate::radix::pow;
+
+/// The label at position `m` of the `N`-ary Gray-code sequence `Q_r`.
+///
+/// Returns the digits least-significant first. `O(r)` time.
+///
+/// # Panics
+///
+/// Panics (debug) if `m ≥ n^r`.
+#[must_use]
+pub fn gray_unrank(n: usize, r: usize, m: u64) -> Vec<usize> {
+    let mut out = vec![0usize; r];
+    gray_unrank_into(n, m, &mut out);
+    out
+}
+
+/// As [`gray_unrank`], writing into a caller-provided buffer of length `r`.
+pub fn gray_unrank_into(n: usize, m: u64, out: &mut [usize]) {
+    let r = out.len();
+    debug_assert!(m < pow(n, r), "Gray rank out of range");
+    let mut m = m;
+    for i in (0..r).rev() {
+        let p = pow(n, i);
+        let u = (m / p) as usize;
+        out[i] = u;
+        m %= p;
+        if u % 2 == 1 {
+            // Odd prefix digit: the remaining suffix is traversed reversed.
+            m = p - 1 - m;
+        }
+    }
+}
+
+/// The position of label `digits` (least-significant first) within `Q_r`.
+///
+/// Inverse of [`gray_unrank`]. `O(r)` time.
+#[must_use]
+pub fn gray_rank(n: usize, digits: &[usize]) -> u64 {
+    // Build bottom-up: rank within Q_1 is the digit itself; prefixing with an
+    // odd digit reflects the accumulated suffix rank.
+    let mut acc: u64 = 0;
+    for (i, &d) in digits.iter().enumerate() {
+        debug_assert!(d < n);
+        let p = pow(n, i);
+        let inner = if d % 2 == 1 { p - 1 - acc } else { acc };
+        acc = d as u64 * p + inner;
+    }
+    acc
+}
+
+/// Advance `digits` (least-significant first) to the next element of `Q_r`
+/// in place, returning the index of the digit that changed, or `None` if
+/// `digits` was the last element.
+///
+/// Amortized `O(1)` per call over a full traversal; worst case `O(r)`.
+pub fn gray_successor(n: usize, digits: &mut [usize]) -> Option<usize> {
+    // In the reflected N-ary Gray code the successor changes exactly one
+    // digit by ±1: the lowest digit that can move. Digit i moves "up" when
+    // the parity of the digits strictly above it is even, "down" otherwise.
+    let total: u8 = digits.iter().fold(0u8, |a, &d| a ^ (d % 2) as u8);
+    // Parity of digits[0..=i], maintained incrementally.
+    let mut prefix_incl = 0u8;
+    for (i, d) in digits.iter_mut().enumerate() {
+        prefix_incl ^= (*d % 2) as u8;
+        let parity_above = total ^ prefix_incl;
+        let up = parity_above == 0;
+        if up && *d + 1 < n {
+            *d += 1;
+            return Some(i);
+        }
+        if !up && *d > 0 {
+            *d -= 1;
+            return Some(i);
+        }
+        // This digit is pinned at its extreme for the current direction;
+        // move on to the next more significant digit.
+    }
+    None
+}
+
+/// Iterator over the elements of `Q_r` in sequence order.
+///
+/// Yields each label as a fresh `Vec<usize>` (least-significant first). For
+/// allocation-free traversal use [`gray_successor`] directly.
+#[derive(Debug, Clone)]
+pub struct GrayIter {
+    n: usize,
+    current: Option<Vec<usize>>,
+}
+
+impl GrayIter {
+    /// Iterate over `Q_r` for the given radix `n` and length `r`.
+    #[must_use]
+    pub fn new(n: usize, r: usize) -> Self {
+        GrayIter {
+            n,
+            current: Some(vec![0; r]),
+        }
+    }
+}
+
+impl Iterator for GrayIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.current.take()?;
+        let mut next = cur.clone();
+        if gray_successor(self.n, &mut next).is_some() {
+            self.current = Some(next);
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::{hamming_distance, hamming_weight};
+
+    /// The paper's example for N = 3, r = 2:
+    /// `Q_2 = {00, 01, 02, 12, 11, 10, 20, 21, 22}` (labels written x2 x1).
+    #[test]
+    fn paper_example_q2_ternary() {
+        let expect: [[usize; 2]; 9] = [
+            [0, 0],
+            [0, 1],
+            [0, 2],
+            [1, 2],
+            [1, 1],
+            [1, 0],
+            [2, 0],
+            [2, 1],
+            [2, 2],
+        ];
+        for (m, e) in expect.iter().enumerate() {
+            let got = gray_unrank(3, 2, m as u64);
+            // e is written x2 x1 (paper order); ours is least significant first.
+            assert_eq!(got, vec![e[1], e[0]], "position {m}");
+        }
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        for n in 2..=5 {
+            for r in 1..=4 {
+                let total = pow(n, r);
+                for m in 0..total {
+                    let d = gray_unrank(n, r, m);
+                    assert_eq!(gray_rank(n, &d), m, "n={n} r={r} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_elements_have_unit_distance() {
+        for n in 2..=5 {
+            for r in 1..=4 {
+                let total = pow(n, r);
+                let mut prev = gray_unrank(n, r, 0);
+                for m in 1..total {
+                    let cur = gray_unrank(n, r, m);
+                    assert_eq!(
+                        hamming_distance(&prev, &cur),
+                        1,
+                        "n={n} r={r} m={m}: {prev:?} -> {cur:?}"
+                    );
+                    prev = cur;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_weights_alternate_parity() {
+        for n in 2..=4 {
+            for r in 1..=4 {
+                let total = pow(n, r);
+                for m in 0..total {
+                    let w = hamming_weight(&gray_unrank(n, r, m));
+                    assert_eq!(w % 2, m % 2, "n={n} r={r} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn successor_agrees_with_unrank() {
+        for n in 2..=5 {
+            for r in 1..=4 {
+                let total = pow(n, r);
+                let mut cur = gray_unrank(n, r, 0);
+                for m in 1..total {
+                    let changed = gray_successor(n, &mut cur);
+                    assert!(changed.is_some());
+                    assert_eq!(cur, gray_unrank(n, r, m), "n={n} r={r} m={m}");
+                }
+                assert!(gray_successor(n, &mut cur).is_none(), "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_visits_every_label_once() {
+        let all: Vec<_> = GrayIter::new(3, 3).collect();
+        assert_eq!(all.len(), 27);
+        let mut sorted: Vec<_> = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 27, "labels must be distinct");
+    }
+
+    #[test]
+    fn binary_gray_matches_classic_formula() {
+        // For N = 2, the reflected Gray code is the classic m ^ (m >> 1).
+        for r in 1..=10 {
+            for m in 0..pow(2, r) {
+                let d = gray_unrank(2, r, m);
+                let val: u64 = d.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+                assert_eq!(val, m ^ (m >> 1), "r={r} m={m}");
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Group sequences: the snake ordering *between* subgraphs of a product
+//! graph (Section 2 of the paper).
+//!
+//! Erasing dimensions 1 (and 2) of `PG_r` leaves `G`-subgraphs (resp.
+//! `PG_2`-subgraphs) identified by *group labels* — the common digits of
+//! their nodes at the remaining dimensions. Listing the group labels in
+//! `N`-ary Gray-code order yields the sequences the paper writes
+//! `[*]Q¹_{r-1}` and `[*,*]Q^{1,2}_{r-2}`. Consecutive group labels have
+//! unit Hamming distance, and a subgraph is *even* or *odd* according to the
+//! Hamming weight of its group label; even subgraphs are traversed forward
+//! by the global snake order and odd ones backward, which is also the
+//! alternation used by Step 4 of the multiway merge.
+
+use crate::gray::{gray_successor, gray_unrank};
+use crate::hamming::hamming_weight;
+use crate::radix::pow;
+
+/// Parity of a group label's Hamming weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// Even Hamming weight: the subgraph is traversed forward.
+    Even,
+    /// Odd Hamming weight: the subgraph is traversed backward.
+    Odd,
+}
+
+impl Parity {
+    /// Parity of an integer.
+    #[inline]
+    #[must_use]
+    pub fn of(w: u64) -> Self {
+        if w.is_multiple_of(2) {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    /// The opposite parity.
+    #[inline]
+    #[must_use]
+    pub fn flip(self) -> Self {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+}
+
+/// Parity of a group label (Hamming weight mod 2).
+///
+/// Because consecutive Gray-code terms alternate weight parity and the first
+/// term has weight 0, the label at group-sequence position `z` has parity
+/// `Parity::of(z)`.
+#[inline]
+#[must_use]
+pub fn group_label_parity(label: &[usize]) -> Parity {
+    Parity::of(hamming_weight(label))
+}
+
+/// One transition between consecutive group labels in the group sequence:
+/// the label at position `z` and the label at position `z + 1` differ at
+/// exactly digit `dim` (an index into the label), where the earlier label
+/// holds `from` and the later holds `to`, with `|from - to| = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupStep {
+    /// Index of the digit that changes (0-based within the group label).
+    pub dim: usize,
+    /// Digit value in the earlier label.
+    pub from: usize,
+    /// Digit value in the later label.
+    pub to: usize,
+}
+
+/// The full group sequence for labels of `len` digits over radix `n`:
+/// every label in Gray order together with its parity.
+///
+/// Position `z` of the returned sequence is the paper's `z`-th subgraph;
+/// `Parity::of(z)` equals the label's parity.
+#[must_use]
+pub fn group_sequence(n: usize, len: usize) -> Vec<(Vec<usize>, Parity)> {
+    if len == 0 {
+        return vec![(Vec::new(), Parity::Even)];
+    }
+    let total = pow(n, len);
+    let mut out = Vec::with_capacity(total as usize);
+    let mut cur = vec![0usize; len];
+    loop {
+        out.push((cur.clone(), group_label_parity(&cur)));
+        if gray_successor(n, &mut cur).is_none() {
+            break;
+        }
+    }
+    debug_assert_eq!(out.len() as u64, total);
+    out
+}
+
+/// The transitions between consecutive labels of the group sequence.
+///
+/// `result[z]` describes how label `z` becomes label `z + 1`. Used by the
+/// odd-even transposition rounds of Step 4, where subgraph pairs
+/// `(z, z + 1)` compare corresponding nodes along the changing dimension.
+#[must_use]
+pub fn group_steps(n: usize, len: usize) -> Vec<GroupStep> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let total = pow(n, len);
+    let mut out = Vec::with_capacity(total as usize - 1);
+    let mut cur = vec![0usize; len];
+    loop {
+        let prev = cur.clone();
+        match gray_successor(n, &mut cur) {
+            Some(dim) => out.push(GroupStep {
+                dim,
+                from: prev[dim],
+                to: cur[dim],
+            }),
+            None => break,
+        }
+    }
+    out
+}
+
+/// The group label at position `z` of the group sequence (Gray unrank).
+#[inline]
+#[must_use]
+pub fn group_label_at(n: usize, len: usize, z: u64) -> Vec<usize> {
+    gray_unrank(n, len, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::hamming_distance;
+
+    /// The paper's explicit example:
+    /// `[*]Q¹_2 = {00*, 01*, 02*, 12*, 11*, 10*, 20*, 21*, 22*}` for N = 3,
+    /// where even-weight groups expand to `{0,1,2}` and odd-weight groups to
+    /// `{2,1,0}`.
+    #[test]
+    fn paper_group_sequence_example() {
+        let seq = group_sequence(3, 2);
+        // Labels written x3 x2 in the paper; ours least-significant first,
+        // so paper "01" (x3=0, x2=1) is [1, 0].
+        let expect: [([usize; 2], Parity); 9] = [
+            ([0, 0], Parity::Even),
+            ([1, 0], Parity::Odd),
+            ([2, 0], Parity::Even),
+            ([2, 1], Parity::Odd),
+            ([1, 1], Parity::Even),
+            ([0, 1], Parity::Odd),
+            ([0, 2], Parity::Even),
+            ([1, 2], Parity::Odd),
+            ([2, 2], Parity::Even),
+        ];
+        assert_eq!(seq.len(), 9);
+        for (z, (lab, par)) in seq.iter().enumerate() {
+            assert_eq!(lab.as_slice(), &expect[z].0, "z={z}");
+            assert_eq!(*par, expect[z].1, "z={z}");
+            assert_eq!(*par, Parity::of(z as u64), "parity alternates");
+        }
+    }
+
+    #[test]
+    fn consecutive_group_labels_unit_distance() {
+        for n in 2..=4 {
+            for len in 1..=4 {
+                let seq = group_sequence(n, len);
+                for w in seq.windows(2) {
+                    assert_eq!(hamming_distance(&w[0].0, &w[1].0), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steps_describe_transitions() {
+        for n in 2..=4 {
+            for len in 1..=3 {
+                let seq = group_sequence(n, len);
+                let steps = group_steps(n, len);
+                assert_eq!(steps.len(), seq.len() - 1);
+                for (z, st) in steps.iter().enumerate() {
+                    let (a, _) = &seq[z];
+                    let (b, _) = &seq[z + 1];
+                    assert_eq!(a[st.dim], st.from);
+                    assert_eq!(b[st.dim], st.to);
+                    assert_eq!(st.from.abs_diff(st.to), 1);
+                    for i in 0..len {
+                        if i != st.dim {
+                            assert_eq!(a[i], b[i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_group_label_is_single_even_group() {
+        let seq = group_sequence(5, 0);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].1, Parity::Even);
+        assert!(group_steps(5, 0).is_empty());
+    }
+
+    #[test]
+    fn parity_flip() {
+        assert_eq!(Parity::Even.flip(), Parity::Odd);
+        assert_eq!(Parity::of(7).flip(), Parity::Even);
+    }
+}

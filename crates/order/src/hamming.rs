@@ -1,0 +1,117 @@
+//! Hamming weight and distance on labels, with the paper's `*` wildcard.
+//!
+//! The paper uses `D(s, z) = Σ_i |s_i - z_i|` as the (generalized) Hamming
+//! distance between `r`-tuples and `W(s) = Σ_i s_i` as the Hamming weight.
+//! One or more positions of a tuple may hold the "all" symbol `*`; such
+//! positions are omitted from both computations.
+
+/// A label digit that may be the wildcard `*`.
+///
+/// `Symbol(v)` is an ordinary symbol; `All` is the paper's `*`, standing for
+/// every symbol of the factor graph at once (used in group labels such as
+/// `[*, *]Q^{1,2}_{r-2}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WildDigit {
+    /// A concrete symbol.
+    Symbol(usize),
+    /// The `*` wildcard.
+    All,
+}
+
+/// Hamming weight `W(s) = Σ_i s_i` of a plain label.
+#[inline]
+#[must_use]
+pub fn hamming_weight(digits: &[usize]) -> u64 {
+    digits.iter().map(|&d| d as u64).sum()
+}
+
+/// Generalized Hamming distance `D(s, z) = Σ_i |s_i - z_i|`.
+///
+/// # Panics
+///
+/// Panics if the tuples have different lengths.
+#[inline]
+#[must_use]
+pub fn hamming_distance(s: &[usize], z: &[usize]) -> u64 {
+    assert_eq!(s.len(), z.len(), "tuples must have equal length");
+    s.iter().zip(z).map(|(&a, &b)| a.abs_diff(b) as u64).sum()
+}
+
+/// Hamming weight of a wildcard label; `*` positions are omitted.
+#[inline]
+#[must_use]
+pub fn wild_weight(digits: &[WildDigit]) -> u64 {
+    digits
+        .iter()
+        .map(|d| match d {
+            WildDigit::Symbol(v) => *v as u64,
+            WildDigit::All => 0,
+        })
+        .sum()
+}
+
+/// Generalized Hamming distance between wildcard labels; any position where
+/// either side is `*` is omitted.
+///
+/// # Panics
+///
+/// Panics if the tuples have different lengths.
+#[inline]
+#[must_use]
+pub fn wild_distance(s: &[WildDigit], z: &[WildDigit]) -> u64 {
+    assert_eq!(s.len(), z.len(), "tuples must have equal length");
+    s.iter()
+        .zip(z)
+        .map(|(a, b)| match (a, b) {
+            (WildDigit::Symbol(x), WildDigit::Symbol(y)) => x.abs_diff(*y) as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_sums_digits() {
+        assert_eq!(hamming_weight(&[0, 0, 0]), 0);
+        assert_eq!(hamming_weight(&[1, 2, 3]), 6);
+    }
+
+    #[test]
+    fn distance_is_l1() {
+        assert_eq!(hamming_distance(&[0, 0], &[0, 0]), 0);
+        assert_eq!(hamming_distance(&[2, 1], &[0, 3]), 4);
+        assert_eq!(hamming_distance(&[5], &[5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn distance_rejects_mismatched_lengths() {
+        let _ = hamming_distance(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn wildcard_positions_are_omitted() {
+        use WildDigit::{All, Symbol};
+        // Group label 2 1 * — weight counts only concrete symbols.
+        assert_eq!(wild_weight(&[All, Symbol(1), Symbol(2)]), 3);
+        assert_eq!(
+            wild_distance(
+                &[All, Symbol(1), Symbol(2)],
+                &[Symbol(9), Symbol(1), Symbol(0)]
+            ),
+            2
+        );
+        assert_eq!(wild_distance(&[All, All], &[Symbol(3), All]), 0);
+    }
+
+    #[test]
+    fn distance_zero_iff_equal_modulo_wildcards() {
+        use WildDigit::{All, Symbol};
+        let a = [Symbol(1), All, Symbol(2)];
+        let b = [Symbol(1), Symbol(7), Symbol(2)];
+        assert_eq!(wild_distance(&a, &b), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Orders on product-network node labels.
+//!
+//! This crate implements the combinatorial machinery of Section 2 of
+//! Fernández & Efe, *Generalized Algorithm for Parallel Sorting on Product
+//! Networks* (ICPP'95 / IEEE TPDS 1997):
+//!
+//! * mixed-radix node labels `x_r x_{r-1} … x_1` and their plain ranks
+//!   ([`radix`]),
+//! * the *N*-ary reflected Gray-code sequences `Q_r` of Definition 3
+//!   ([`gray`]),
+//! * the *snake order* of Definition 2, which is the order in which sorted
+//!   data is laid out on the product network ([`snake`]),
+//! * the *group sequences* `[*]Q¹_{r-1}` and `[*,*]Q^{1,2}_{r-2}` that order
+//!   the `G`- and `PG_2`-subgraphs of a product graph ([`group`]),
+//! * Hamming weight/distance with the paper's `*` wildcard ([`hamming`]).
+//!
+//! Everywhere in this crate (and the sibling crates), digit index `i`
+//! (0-based) corresponds to the paper's dimension `i + 1`; digit 0 is the
+//! rightmost / least-significant symbol of a label.
+
+pub mod gray;
+pub mod group;
+pub mod hamming;
+pub mod radix;
+pub mod snake;
+
+pub use gray::{gray_rank, gray_successor, gray_unrank, gray_unrank_into, GrayIter};
+pub use group::{group_label_parity, group_sequence, GroupStep, Parity};
+pub use hamming::{hamming_distance, hamming_weight, wild_distance, wild_weight, WildDigit};
+pub use radix::{digit, pow, radix_rank, radix_unrank, radix_unrank_into, with_digit, Shape};
+pub use snake::{
+    dim1_digit_at_position, positions_of_digit, positions_of_dim1_digit, snake_rank,
+    snake_successor_rank, snake_unrank, SnakeIter,
+};
+
+/// Direction of a sorted run (nondecreasing vs nonincreasing).
+///
+/// Step 4 of the multiway merge sorts consecutive `PG_2` subgraphs in
+/// alternating directions; the direction is determined by the parity of the
+/// subgraph's group label (see [`group::group_label_parity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Nondecreasing order.
+    Ascending,
+    /// Nonincreasing order.
+    Descending,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    #[must_use]
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Ascending => Direction::Descending,
+            Direction::Descending => Direction::Ascending,
+        }
+    }
+
+    /// Direction used for a subgraph whose group label has the given parity:
+    /// even ⇒ ascending, odd ⇒ descending (paper, Step 4).
+    #[inline]
+    #[must_use]
+    pub fn for_parity(parity: Parity) -> Self {
+        match parity {
+            Parity::Even => Direction::Ascending,
+            Parity::Odd => Direction::Descending,
+        }
+    }
+
+    /// `true` if `a` then `b` is in order for this direction.
+    #[inline]
+    pub fn in_order<K: Ord>(self, a: &K, b: &K) -> bool {
+        match self {
+            Direction::Ascending => a <= b,
+            Direction::Descending => a >= b,
+        }
+    }
+}

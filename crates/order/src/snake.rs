@@ -1,0 +1,427 @@
+//! The *snake order* of Definition 2: the order in which sorted keys are
+//! laid out on the nodes of a product network.
+//!
+//! Snake order on `PG_r` coincides with the `N`-ary reflected Gray-code
+//! sequence `Q_r` on node labels (Section 2 of the paper): the key at sorted
+//! position `p` lives on the node whose label is the `p`-th element of
+//! `Q_r`. This module exposes that bijection directly on node *ranks* so the
+//! simulator never materializes digit vectors in its hot loops.
+//!
+//! It also exposes the subsequence facts used by Step 1 of the multiway
+//! merge: the keys on the dimension-1 subgraph `[v]PG¹_{r-1}` occupy
+//! positions `v, 2N-v-1, 2N+v, 4N-v-1, 4N+v, …` of the whole snake-ordered
+//! sequence.
+
+use crate::gray::{gray_rank, gray_unrank};
+use crate::radix::{pow, Shape};
+
+/// Snake position of the node with the given label digits
+/// (least-significant dimension first).
+///
+/// Equals the Gray-code rank of the label in `Q_r`.
+#[inline]
+#[must_use]
+pub fn snake_rank(n: usize, digits: &[usize]) -> u64 {
+    gray_rank(n, digits)
+}
+
+/// Label digits (least-significant first) of the node at snake position
+/// `pos` in `PG_r`.
+#[inline]
+#[must_use]
+pub fn snake_unrank(n: usize, r: usize, pos: u64) -> Vec<usize> {
+    gray_unrank(n, r, pos)
+}
+
+/// Snake position of the node with radix rank `node` in a network of the
+/// given shape. Allocation-free, `O(r)`.
+#[must_use]
+pub fn snake_pos_of_node(shape: Shape, node: u64) -> u64 {
+    let n = shape.n() as u64;
+    let mut acc: u64 = 0;
+    let mut p: u64 = 1;
+    let mut rest = node;
+    for _ in 0..shape.r() {
+        let d = rest % n;
+        rest /= n;
+        let inner = if d % 2 == 1 { p - 1 - acc } else { acc };
+        acc = d * p + inner;
+        p *= n;
+    }
+    acc
+}
+
+/// Radix rank of the node at snake position `pos`. Inverse of
+/// [`snake_pos_of_node`]. Allocation-free, `O(r)`.
+#[must_use]
+pub fn node_at_snake_pos(shape: Shape, pos: u64) -> u64 {
+    debug_assert!(pos < shape.len());
+    let mut m = pos;
+    let mut node: u64 = 0;
+    for i in (0..shape.r()).rev() {
+        let p = pow(shape.n(), i);
+        let u = m / p;
+        m %= p;
+        if u % 2 == 1 {
+            m = p - 1 - m;
+        }
+        node += u * p;
+    }
+    node
+}
+
+/// Successor of a snake position's node, as a node rank, or `None` at the
+/// last position. Convenience over [`node_at_snake_pos`].
+#[inline]
+#[must_use]
+pub fn snake_successor_rank(shape: Shape, pos: u64) -> Option<u64> {
+    if pos + 1 < shape.len() {
+        Some(node_at_snake_pos(shape, pos + 1))
+    } else {
+        None
+    }
+}
+
+/// The dimension-1 digit `x_1` of the node at snake position `pos`.
+///
+/// This is the closed form behind Step 1 of the multiway merge: within the
+/// `j`-th group of `N` consecutive snake positions, `x_1` runs forward
+/// (`0…N-1`) when `j` is even and backward when `j` is odd, so
+/// `x_1 = pos mod N` if `⌊pos / N⌋` is even and `N - 1 - (pos mod N)`
+/// otherwise.
+#[inline]
+#[must_use]
+pub fn dim1_digit_at_position(n: usize, pos: u64) -> usize {
+    let n = n as u64;
+    let within = pos % n;
+    if (pos / n).is_multiple_of(2) {
+        within as usize
+    } else {
+        (n - 1 - within) as usize
+    }
+}
+
+/// Iterator over the snake positions occupied by the keys whose node label
+/// has dimension-1 digit `v`: `v, 2N-v-1, 2N+v, 4N-v-1, 4N+v, …`, limited to
+/// a sequence of total length `len` (which must be a multiple of `N`).
+///
+/// The `j`-th yielded position is `j·N + v` for even `j` and
+/// `j·N + (N-1-v)` for odd `j`.
+pub fn positions_of_dim1_digit(n: usize, len: u64, v: usize) -> impl Iterator<Item = u64> {
+    assert!(v < n);
+    assert_eq!(len % n as u64, 0, "sequence length must be a multiple of N");
+    let n64 = n as u64;
+    let v64 = v as u64;
+    (0..len / n64).map(move |j| {
+        let within = if j % 2 == 0 { v64 } else { n64 - 1 - v64 };
+        j * n64 + within
+    })
+}
+
+/// Positions within the snake-ordered sequence occupied by the nodes
+/// whose label has digit `u` at dimension index `dim` (0-based) — the
+/// paper's `[u]Q^{i}_{r-1}` subsequence for `i = dim + 1`.
+///
+/// Generalizes [`positions_of_dim1_digit`]: the snake sequence consists
+/// of `N^{r-dim-1}` super-blocks of `N^{dim+1}` positions; within each
+/// super-block, dimension `dim`'s digit sweeps `0 … N-1` (or back) in
+/// runs of `N^{dim}` positions, with the sweep direction alternating with
+/// the parity of the super-block index, and the *interior* of each run
+/// likewise mirrored on odd runs.
+///
+/// The returned positions are ascending. For `dim = 0` the subsequence
+/// visits the subgraph in its own snake order (the Step 1 property); for
+/// higher dimensions reflections appear — e.g. `[u]Q^r` is the contiguous
+/// block `[u·N^{r-1}, (u+1)·N^{r-1})`, reversed when `u` is odd, exactly
+/// as Definition 2 prescribes (see the tests).
+#[must_use]
+pub fn positions_of_digit(shape: Shape, dim: usize, u: usize) -> Vec<u64> {
+    assert!(dim < shape.r(), "dimension index out of range");
+    assert!(u < shape.n(), "digit out of range");
+    // Straightforward and obviously correct: walk the snake, keep
+    // positions whose node has the digit. O(N^r · r); the closed-form
+    // dim-1 special case remains the hot-path variant.
+    (0..shape.len())
+        .filter(|&pos| shape.digit(node_at_snake_pos(shape, pos), dim) == u)
+        .collect()
+}
+
+/// Iterator over node ranks in snake order for the given shape.
+#[derive(Debug, Clone)]
+pub struct SnakeIter {
+    shape: Shape,
+    pos: u64,
+}
+
+impl SnakeIter {
+    /// Traverse all `N^r` nodes in snake order.
+    #[must_use]
+    pub fn new(shape: Shape) -> Self {
+        SnakeIter { shape, pos: 0 }
+    }
+}
+
+impl Iterator for SnakeIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.pos >= self.shape.len() {
+            return None;
+        }
+        let node = node_at_snake_pos(self.shape, self.pos);
+        self.pos += 1;
+        Some(node)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.shape.len() - self.pos) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SnakeIter {}
+
+/// Snake position within a two-dimensional product `PG_2`:
+/// `x_2·N + x_1` for even `x_2`, `x_2·N + (N-1-x_1)` for odd `x_2`.
+#[inline]
+#[must_use]
+pub fn snake2_rank(n: usize, x1: usize, x2: usize) -> u64 {
+    debug_assert!(x1 < n && x2 < n);
+    let within = if x2.is_multiple_of(2) { x1 } else { n - 1 - x1 };
+    (x2 * n + within) as u64
+}
+
+/// Inverse of [`snake2_rank`]: the `(x1, x2)` coordinates at a `PG_2` snake
+/// position.
+#[inline]
+#[must_use]
+pub fn snake2_unrank(n: usize, pos: u64) -> (usize, usize) {
+    let x2 = (pos / n as u64) as usize;
+    let within = (pos % n as u64) as usize;
+    let x1 = if x2.is_multiple_of(2) {
+        within
+    } else {
+        n - 1 - within
+    };
+    (x1, x2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_based_and_digit_based_agree() {
+        for n in 2..=4 {
+            for r in 1..=4 {
+                let shape = Shape::new(n, r);
+                for node in shape.ranks() {
+                    let digits = shape.unrank(node);
+                    assert_eq!(
+                        snake_pos_of_node(shape, node),
+                        snake_rank(n, &digits),
+                        "n={n} r={r} node={node}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pos_node_roundtrip() {
+        for n in 2..=5 {
+            for r in 1..=4 {
+                let shape = Shape::new(n, r);
+                for pos in shape.ranks() {
+                    let node = node_at_snake_pos(shape, pos);
+                    assert_eq!(snake_pos_of_node(shape, node), pos);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snake_iter_is_a_permutation_visiting_adjacent_labels() {
+        let shape = Shape::new(3, 3);
+        let order: Vec<u64> = SnakeIter::new(shape).collect();
+        assert_eq!(order.len(), 27);
+        let mut seen = [false; 27];
+        for &v in &order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        // Consecutive snake nodes differ in exactly one digit by exactly one.
+        for w in order.windows(2) {
+            let a = shape.unrank(w[0]);
+            let b = shape.unrank(w[1]);
+            let dist: u64 = crate::hamming::hamming_distance(&a, &b);
+            assert_eq!(dist, 1, "{a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn dim1_digit_matches_unrank() {
+        for n in 2..=5 {
+            let shape = Shape::new(n, 3);
+            for pos in shape.ranks() {
+                let node = node_at_snake_pos(shape, pos);
+                assert_eq!(
+                    dim1_digit_at_position(n, pos),
+                    shape.digit(node, 0),
+                    "n={n} pos={pos}"
+                );
+            }
+        }
+    }
+
+    /// Section 2: "the elements of `[u]Q¹_{r-1}` come from positions
+    /// u, 2N-u-1, 2N+u, 4N-u-1, 4N+u, and so on".
+    #[test]
+    fn paper_position_sequence() {
+        let n = 3;
+        let got: Vec<u64> = positions_of_dim1_digit(n, 18, 1).collect();
+        // u = 1, N = 3: 1, 2*3-1-1=4, 2*3+1=7, 4*3-1-1=10, 4*3+1=13, 16.
+        assert_eq!(got, vec![1, 4, 7, 10, 13, 16]);
+    }
+
+    #[test]
+    fn positions_partition_the_sequence() {
+        let n = 4;
+        let len = 64u64;
+        let mut hit = vec![0u32; len as usize];
+        for v in 0..n {
+            for p in positions_of_dim1_digit(n, len, v) {
+                hit[p as usize] += 1;
+            }
+        }
+        assert!(hit.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn positions_are_sorted_within_each_digit_class() {
+        // Subsequences B_{u,v} keep the relative order of A_u, so the
+        // position stream must be strictly increasing.
+        for n in 2..=5 {
+            for v in 0..n {
+                let ps: Vec<u64> = positions_of_dim1_digit(n, (n * n * n) as u64, v).collect();
+                assert!(ps.windows(2).all(|w| w[0] < w[1]), "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn snake2_roundtrip_and_boustrophedon() {
+        for n in 2..=6 {
+            for pos in 0..(n * n) as u64 {
+                let (x1, x2) = snake2_unrank(n, pos);
+                assert_eq!(snake2_rank(n, x1, x2), pos);
+            }
+            // Row 0 runs left-to-right, row 1 right-to-left.
+            assert_eq!(snake2_unrank(n, 0), (0, 0));
+            assert_eq!(snake2_unrank(n, n as u64 - 1), (n - 1, 0));
+            assert_eq!(snake2_unrank(n, n as u64), (n - 1, 1));
+        }
+    }
+
+    #[test]
+    fn positions_of_digit_generalizes_dim1() {
+        for n in 2..=4 {
+            let shape = Shape::new(n, 3);
+            for u in 0..n {
+                let general = positions_of_digit(shape, 0, u);
+                let special: Vec<u64> = positions_of_dim1_digit(n, shape.len(), u).collect();
+                assert_eq!(general, special, "n={n} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn positions_of_digit_partition_for_every_dim() {
+        let shape = Shape::new(3, 3);
+        for dim in 0..3 {
+            let mut seen = [0u8; 27];
+            for u in 0..3 {
+                for p in positions_of_digit(shape, dim, u) {
+                    seen[p as usize] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn dim1_subsequence_preserves_subgraph_snake_order() {
+        // Section 2: "if PG_r contains a sequence of keys sorted in snake
+        // order, the keys on the subgraph [u]PG^1_{r-1} are also sorted in
+        // snake order". This is special to dimension 1 (higher dimensions
+        // pick up reflections, e.g. [1]Q^r is reversed per Definition 2).
+        let shape = Shape::new(3, 3);
+        let sub = Shape::new(3, 2);
+        for u in 0..3 {
+            let positions = positions_of_digit(shape, 0, u);
+            for (t, &p) in positions.iter().enumerate() {
+                let node = node_at_snake_pos(shape, p);
+                let mut digits = shape.unrank(node);
+                digits.remove(0);
+                let sub_node = sub.rank(&digits);
+                assert_eq!(snake_pos_of_node(sub, sub_node), t as u64, "u={u} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn leftmost_subsequence_is_contiguous_and_reflects_by_parity() {
+        // Definition 2 directly: [u]PG^r_{r-1} occupies the contiguous
+        // positions [u·N^{r-1}, (u+1)·N^{r-1}), forward for even u and
+        // reversed for odd u.
+        let shape = Shape::new(3, 3);
+        let sub = Shape::new(3, 2);
+        for u in 0..3u64 {
+            let positions = positions_of_digit(shape, 2, u as usize);
+            let expect: Vec<u64> = (u * 9..(u + 1) * 9).collect();
+            assert_eq!(positions, expect, "contiguous block for u={u}");
+            // Orientation: walk the block, map to sub-shape snake ranks.
+            let ranks: Vec<u64> = positions
+                .iter()
+                .map(|&p| {
+                    let node = node_at_snake_pos(shape, p);
+                    let mut digits = shape.unrank(node);
+                    digits.remove(2);
+                    snake_pos_of_node(sub, sub.rank(&digits))
+                })
+                .collect();
+            let forward: Vec<u64> = (0..9).collect();
+            if u % 2 == 0 {
+                assert_eq!(ranks, forward, "even u runs forward");
+            } else {
+                let backward: Vec<u64> = (0..9).rev().collect();
+                assert_eq!(ranks, backward, "odd u runs reversed");
+            }
+        }
+    }
+
+    #[test]
+    fn snake_matches_paper_fig3_prefix() {
+        // Fig. 3 shows the snake order on the 27-node example as the Q_3
+        // sequence {000, 001, 002, 012, 011, 010, 020, 021, 022, 122, ...}
+        // (labels x3 x2 x1).
+        let shape = Shape::new(3, 3);
+        let expect_x3x2x1: [[usize; 3]; 10] = [
+            [0, 0, 0],
+            [0, 0, 1],
+            [0, 0, 2],
+            [0, 1, 2],
+            [0, 1, 1],
+            [0, 1, 0],
+            [0, 2, 0],
+            [0, 2, 1],
+            [0, 2, 2],
+            [1, 2, 2],
+        ];
+        for (pos, lab) in expect_x3x2x1.iter().enumerate() {
+            let node = node_at_snake_pos(shape, pos as u64);
+            let d = shape.unrank(node);
+            assert_eq!(d, vec![lab[2], lab[1], lab[0]], "pos={pos}");
+        }
+    }
+}

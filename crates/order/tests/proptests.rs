@@ -1,0 +1,108 @@
+//! Property-based tests for the order machinery.
+
+use pns_order::gray::{gray_rank, gray_successor, gray_unrank};
+use pns_order::group::{group_label_parity, group_sequence, Parity};
+use pns_order::hamming::{hamming_distance, hamming_weight};
+use pns_order::radix::{radix_rank, radix_unrank, Shape};
+use pns_order::snake::{
+    dim1_digit_at_position, node_at_snake_pos, positions_of_dim1_digit, snake2_rank, snake2_unrank,
+    snake_pos_of_node,
+};
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..9, 1usize..6).prop_filter("size cap", |&(n, r)| (n as u64).pow(r as u32) <= 1 << 16)
+}
+
+proptest! {
+    #[test]
+    fn radix_roundtrip((n, r) in shape_strategy(), seed in any::<u64>()) {
+        let total = (n as u64).pow(r as u32);
+        let rank = seed % total;
+        let digits = radix_unrank(n, r, rank);
+        prop_assert_eq!(radix_rank(n, &digits), rank);
+        prop_assert!(digits.iter().all(|&d| d < n));
+    }
+
+    #[test]
+    fn gray_roundtrip((n, r) in shape_strategy(), seed in any::<u64>()) {
+        let total = (n as u64).pow(r as u32);
+        let m = seed % total;
+        let digits = gray_unrank(n, r, m);
+        prop_assert_eq!(gray_rank(n, &digits), m);
+    }
+
+    #[test]
+    fn gray_successor_has_unit_distance((n, r) in shape_strategy(), seed in any::<u64>()) {
+        let total = (n as u64).pow(r as u32);
+        let m = seed % total;
+        let cur = gray_unrank(n, r, m);
+        let mut next = cur.clone();
+        match gray_successor(n, &mut next) {
+            Some(_) => {
+                prop_assert_eq!(hamming_distance(&cur, &next), 1);
+                prop_assert_eq!(gray_rank(n, &next), m + 1);
+            }
+            None => prop_assert_eq!(m, total - 1),
+        }
+    }
+
+    #[test]
+    fn gray_weights_alternate((n, r) in shape_strategy(), seed in any::<u64>()) {
+        let total = (n as u64).pow(r as u32);
+        let m = seed % total;
+        let w = hamming_weight(&gray_unrank(n, r, m));
+        prop_assert_eq!(w % 2, m % 2);
+    }
+
+    #[test]
+    fn snake_is_gray_on_node_ranks((n, r) in shape_strategy(), seed in any::<u64>()) {
+        let shape = Shape::new(n, r);
+        let node = seed % shape.len();
+        let pos = snake_pos_of_node(shape, node);
+        prop_assert_eq!(node_at_snake_pos(shape, pos), node);
+        prop_assert_eq!(gray_rank(n, &shape.unrank(node)), pos);
+    }
+
+    #[test]
+    fn dim1_digit_closed_form((n, r) in shape_strategy(), seed in any::<u64>()) {
+        prop_assume!(r >= 2);
+        let shape = Shape::new(n, r);
+        let pos = seed % shape.len();
+        let node = node_at_snake_pos(shape, pos);
+        prop_assert_eq!(dim1_digit_at_position(n, pos), shape.digit(node, 0));
+    }
+
+    #[test]
+    fn dim1_positions_partition(n in 2usize..9, blocks in 1usize..20) {
+        let len = (n * blocks) as u64;
+        let mut seen = vec![0u8; len as usize];
+        for v in 0..n {
+            for p in positions_of_dim1_digit(n, len, v) {
+                seen[p as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn snake2_roundtrip(n in 2usize..20, seed in any::<u64>()) {
+        let pos = seed % (n * n) as u64;
+        let (x1, x2) = snake2_unrank(n, pos);
+        prop_assert_eq!(snake2_rank(n, x1, x2), pos);
+        prop_assert!(x1 < n && x2 < n);
+    }
+
+    #[test]
+    fn group_sequence_is_gray(n in 2usize..5, len in 1usize..4) {
+        let seq = group_sequence(n, len);
+        prop_assert_eq!(seq.len() as u64, (n as u64).pow(len as u32));
+        for (z, (lab, par)) in seq.iter().enumerate() {
+            prop_assert_eq!(*par, Parity::of(z as u64));
+            prop_assert_eq!(group_label_parity(lab), *par);
+        }
+        for w in seq.windows(2) {
+            prop_assert_eq!(hamming_distance(&w[0].0, &w[1].0), 1);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Embedding grids and tori into arbitrary product networks.
+//!
+//! The Corollary of Section 4.1 rests on a result from Efe & Fernández
+//! (TPDS 1996): if `G` is connected, `PG_r` can emulate the `N^r`-node
+//! `r`-dimensional torus with dilation 3 and congestion 2, hence with
+//! constant slowdown (at most 6). The embedding is per-dimension: fix a
+//! cyclic linear ordering of `G`'s nodes with dilation ≤ 3 (Hamiltonian
+//! cycle if one exists, Sekanina's ordering otherwise) and map torus
+//! coordinate `t` at dimension `i` to factor node `order[t]` at the same
+//! dimension.
+
+use pns_graph::{Graph, LinearEmbedding};
+use pns_order::radix::Shape;
+
+/// A dilation-bounded embedding of the `N^r`-node `r`-dimensional torus
+/// (or grid) into `PG_r` of an `N`-node connected factor.
+#[derive(Debug, Clone)]
+pub struct TorusEmbedding {
+    /// Cyclic linear order of the factor nodes used on every dimension.
+    pub order: Vec<u32>,
+    /// Max factor distance between images of torus-adjacent coordinates
+    /// (including the wrap-around), ≤ 3.
+    pub dilation: u32,
+    shape: Shape,
+    /// `positions[v]` = torus coordinate mapped to factor node `v`.
+    positions: Vec<u32>,
+}
+
+/// Build the torus embedding for the product of `factor` with `r`
+/// dimensions.
+///
+/// # Panics
+///
+/// Panics if the factor is disconnected or has fewer than 3 nodes (a
+/// 2-node factor has no torus distinct from the grid; use the grid
+/// embedding implicit in `LinearEmbedding::best`).
+#[must_use]
+pub fn torus_embedding(factor: &Graph, r: usize) -> TorusEmbedding {
+    let emb = LinearEmbedding::best_cycle(factor);
+    let shape = Shape::new(factor.n(), r);
+    let positions = emb.positions();
+    TorusEmbedding {
+        order: emb.order,
+        dilation: emb.dilation,
+        shape,
+        positions,
+    }
+}
+
+impl TorusEmbedding {
+    /// Map a torus node (given by rank, digits = torus coordinates) to the
+    /// corresponding product-network node rank.
+    #[must_use]
+    pub fn map(&self, torus_node: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..self.shape.r() {
+            let t = self.shape.digit(torus_node, i);
+            out = self.shape.with_digit(out, i, self.order[t] as usize);
+        }
+        out
+    }
+
+    /// Inverse of [`TorusEmbedding::map`].
+    #[must_use]
+    pub fn unmap(&self, pg_node: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..self.shape.r() {
+            let v = self.shape.digit(pg_node, i);
+            out = self.shape.with_digit(out, i, self.positions[v] as usize);
+        }
+        out
+    }
+
+    /// Worst-case slowdown of emulating one synchronous torus step:
+    /// `2 · dilation` (dilation hops, congestion ≤ 2 serializes each hop at
+    /// most twice), which is 6 in the worst case — the constant used by the
+    /// Corollary. A dilation-1 (Hamiltonian-cycle) embedding has slowdown 1.
+    #[must_use]
+    pub fn slowdown(&self) -> u32 {
+        if self.dilation == 1 {
+            1
+        } else {
+            2 * self.dilation
+        }
+    }
+
+    /// The shape shared by torus and product network.
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ProductNetwork;
+    use pns_graph::{bfs_distances, factories};
+
+    fn check_embedding(factor: &Graph, r: usize, max_slowdown: u32) {
+        let emb = torus_embedding(factor, r);
+        let n = factor.n();
+        let shape = emb.shape();
+        assert!(emb.slowdown() <= max_slowdown, "{factor:?}");
+        // Bijectivity.
+        let mut seen = std::collections::HashSet::new();
+        for t in shape.ranks() {
+            let p = emb.map(t);
+            assert_eq!(emb.unmap(p), t);
+            assert!(seen.insert(p), "map must be injective");
+        }
+        // Every torus edge maps to a bounded-distance pair along one
+        // dimension.
+        let dist0 = {
+            // All-pairs factor distances.
+            let mut d = Vec::with_capacity(n);
+            for v in 0..n as u32 {
+                d.push(bfs_distances(factor, v));
+            }
+            d
+        };
+        for t in shape.ranks() {
+            for i in 0..r {
+                let ti = shape.digit(t, i);
+                let t2 = shape.with_digit(t, i, (ti + 1) % n);
+                let (a, b) = (emb.map(t), emb.map(t2));
+                // a and b differ only at dimension i.
+                let da = shape.digit(a, i);
+                let db = shape.digit(b, i);
+                let d = dist0[da][db];
+                assert!(
+                    d <= emb.dilation,
+                    "dilation violated at t={t} dim={i}: {d} > {}",
+                    emb.dilation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_factor_embeds_with_slowdown_one() {
+        check_embedding(&factories::cycle(5), 2, 1);
+    }
+
+    #[test]
+    fn petersen_embeds_with_constant_slowdown() {
+        check_embedding(&factories::petersen(), 2, 6);
+    }
+
+    #[test]
+    fn tree_factor_embeds_with_constant_slowdown() {
+        check_embedding(&factories::complete_binary_tree(3), 2, 6);
+        check_embedding(&factories::star(5), 3, 6);
+    }
+
+    #[test]
+    fn random_factors_embed() {
+        for seed in 0..5 {
+            let g = factories::random_connected(9, 3, seed);
+            check_embedding(&g, 2, 6);
+        }
+    }
+
+    #[test]
+    fn mapped_torus_edges_are_short_paths_in_product() {
+        // End-to-end: images of torus-adjacent nodes are within `dilation`
+        // hops in the actual product network.
+        let factor = factories::complete_binary_tree(3);
+        let r = 2;
+        let emb = torus_embedding(&factor, r);
+        let pg = ProductNetwork::new(&factor, r);
+        let shape = emb.shape();
+        let eg = pg.to_graph();
+        for t in shape.ranks() {
+            for i in 0..r {
+                let ti = shape.digit(t, i);
+                let t2 = shape.with_digit(t, i, (ti + 1) % factor.n());
+                let a = emb.map(t) as u32;
+                let b = emb.map(t2) as u32;
+                let d = bfs_distances(&eg, a)[b as usize];
+                assert!(d <= emb.dilation, "t={t} dim={i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Homogeneous product networks `PG_r` (Definition 1 of Fernández & Efe).
+//!
+//! Given an `N`-node factor graph `G`, the `r`-dimensional homogeneous
+//! product `PG_r` has node set `{0, …, N-1}^r`; nodes are adjacent iff their
+//! labels differ in exactly one symbol position and the differing symbols
+//! are adjacent in `G`. This crate provides:
+//!
+//! * the network itself with rank-based adjacency ([`network`]),
+//! * subgraph extraction `[u]PG^i_{r-1}`, `[u,v]PG^{i,j}_{r-2}`, … — the
+//!   dimension-erasure decompositions of Section 2 ([`subgraph`]),
+//! * grid/torus embeddings into `PG_r` with constant dilation, the engine
+//!   behind the Corollary's universal `O(r²N)` bound ([`embedding`]),
+//! * closed-form structural statistics and their verification ([`stats`]).
+
+pub mod embedding;
+pub mod network;
+pub mod stats;
+pub mod subgraph;
+
+pub use embedding::{torus_embedding, TorusEmbedding};
+pub use network::ProductNetwork;
+pub use subgraph::{pg2_subgraph_nodes, subgraph_nodes, SubgraphSpec};

@@ -1,0 +1,274 @@
+//! The product network `PG_r` with rank-based node identity.
+//!
+//! Nodes are identified by their mixed-radix rank (see
+//! [`pns_order::radix`]); adjacency never materializes the full edge set —
+//! it reduces to factor-graph adjacency on one digit, which keeps even
+//! million-node products cheap to query.
+
+use pns_graph::Graph;
+use pns_order::radix::Shape;
+
+/// An `r`-dimensional homogeneous product of a factor graph.
+#[derive(Debug, Clone)]
+pub struct ProductNetwork {
+    factor: Graph,
+    shape: Shape,
+}
+
+impl ProductNetwork {
+    /// Build `PG_r` from a factor graph.
+    ///
+    /// ```
+    /// use pns_graph::factories;
+    /// use pns_product::ProductNetwork;
+    ///
+    /// // PG_3 of K2 is the 3-dimensional hypercube.
+    /// let pg = ProductNetwork::new(&factories::k2(), 3);
+    /// assert_eq!(pg.node_count(), 8);
+    /// assert_eq!(pg.edge_count(), 12);
+    /// assert!(pg.has_edge(0b000, 0b100));
+    /// assert!(!pg.has_edge(0b000, 0b110));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is disconnected (the paper assumes a connected
+    /// `G`), or if `N^r` overflows the sanity cap of [`Shape::new`].
+    #[must_use]
+    pub fn new(factor: &Graph, r: usize) -> Self {
+        assert!(
+            pns_graph::is_connected(factor),
+            "factor graph must be connected"
+        );
+        let shape = Shape::new(factor.n(), r);
+        ProductNetwork {
+            factor: factor.clone(),
+            shape,
+        }
+    }
+
+    /// The factor graph `G`.
+    #[inline]
+    #[must_use]
+    pub fn factor(&self) -> &Graph {
+        &self.factor
+    }
+
+    /// The `(N, r)` shape.
+    #[inline]
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of nodes, `N^r`.
+    #[inline]
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        self.shape.len()
+    }
+
+    /// Number of edges: `r · N^{r-1} · |E_G|` (each dimension contributes a
+    /// factor-graph copy per assignment of the other `r-1` digits).
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.shape.r() as u64
+            * self.shape.stride(self.shape.r() - 1)
+            * self.factor.edge_count() as u64
+    }
+
+    /// Degree of a node: the sum of the factor degrees of its digits.
+    #[must_use]
+    pub fn degree(&self, node: u64) -> usize {
+        (0..self.shape.r())
+            .map(|i| self.factor.degree(self.shape.digit(node, i) as u32))
+            .sum()
+    }
+
+    /// `true` iff `(a, b)` is an edge of `PG_r`: the labels differ in
+    /// exactly one digit, and that digit pair is an edge of `G`.
+    #[must_use]
+    pub fn has_edge(&self, a: u64, b: u64) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut differing = None;
+        for i in 0..self.shape.r() {
+            let da = self.shape.digit(a, i);
+            let db = self.shape.digit(b, i);
+            if da != db {
+                if differing.is_some() {
+                    return false;
+                }
+                differing = Some((da, db));
+            }
+        }
+        match differing {
+            Some((da, db)) => self.factor.has_edge(da as u32, db as u32),
+            None => false,
+        }
+    }
+
+    /// Neighbors of `node`, produced by substituting each digit with its
+    /// factor-graph neighbors.
+    pub fn neighbors(&self, node: u64) -> impl Iterator<Item = u64> + '_ {
+        let shape = self.shape;
+        (0..shape.r()).flat_map(move |i| {
+            let d = shape.digit(node, i) as u32;
+            self.factor
+                .neighbors(d)
+                .iter()
+                .map(move |&w| shape.with_digit(node, i, w as usize))
+        })
+    }
+
+    /// Neighbors of `node` along dimension `dim` only.
+    pub fn neighbors_along(&self, node: u64, dim: usize) -> impl Iterator<Item = u64> + '_ {
+        let shape = self.shape;
+        let d = shape.digit(node, dim) as u32;
+        self.factor
+            .neighbors(d)
+            .iter()
+            .map(move |&w| shape.with_digit(node, dim, w as usize))
+    }
+
+    /// Materialize the product as an explicit [`Graph`] (small networks
+    /// only: used by tests and the structural experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than 2^22 nodes.
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let n = self.node_count();
+        assert!(n <= 1 << 22, "to_graph is for small networks");
+        let mut edges = Vec::new();
+        for v in self.shape.ranks() {
+            for w in self.neighbors(v) {
+                if v < w {
+                    edges.push((v as u32, w as u32));
+                }
+            }
+        }
+        Graph::from_edges_named(
+            n as usize,
+            &edges,
+            &format!("{}^{}", self.factor.name(), self.shape.r()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pns_graph::factories;
+
+    /// The paper's running example: a 3-node factor graph. Fig. 1a shows a
+    /// 3-node factor; we use the path 0–1–2 (its exact edge set does not
+    /// matter for the construction, per Section 4).
+    fn example_factor() -> Graph {
+        factories::path(3)
+    }
+
+    #[test]
+    fn counts_match_closed_forms() {
+        let g = example_factor();
+        for r in 1..=4 {
+            let pg = ProductNetwork::new(&g, r);
+            assert_eq!(pg.node_count(), 3u64.pow(r as u32));
+            assert_eq!(
+                pg.edge_count(),
+                r as u64 * 3u64.pow(r as u32 - 1) * g.edge_count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_graph_agrees_with_implicit_adjacency() {
+        let pg = ProductNetwork::new(&example_factor(), 3);
+        let eg = pg.to_graph();
+        assert_eq!(eg.n() as u64, pg.node_count());
+        assert_eq!(eg.edge_count() as u64, pg.edge_count());
+        for a in pg.shape().ranks() {
+            for b in pg.shape().ranks() {
+                assert_eq!(
+                    pg.has_edge(a, b),
+                    eg.has_edge(a as u32, b as u32),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_from_k2() {
+        // PG_r of K2 is the r-dimensional binary hypercube.
+        let pg = ProductNetwork::new(&factories::k2(), 4);
+        assert_eq!(pg.node_count(), 16);
+        assert_eq!(pg.edge_count(), 32); // r * 2^{r-1} = 4 * 8
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let expect = a != b && (a ^ b).count_ones() == 1;
+                assert_eq!(pg.has_edge(a, b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_from_path() {
+        // PG_2 of a path is the 2-D grid.
+        let pg = ProductNetwork::new(&factories::path(4), 2);
+        assert_eq!(pg.node_count(), 16);
+        assert_eq!(pg.edge_count(), 24); // 2 * 4 * 3
+        assert!(pg.has_edge(0, 1)); // (0,0)-(1,0) along dim 1
+        assert!(pg.has_edge(0, 4)); // (0,0)-(0,1) along dim 2
+        assert!(!pg.has_edge(0, 5)); // diagonal
+        assert!(!pg.has_edge(3, 4)); // row wrap is not an edge
+    }
+
+    #[test]
+    fn neighbors_match_has_edge() {
+        let pg = ProductNetwork::new(&factories::petersen(), 2);
+        for v in [0u64, 17, 55, 99] {
+            let ns: Vec<u64> = pg.neighbors(v).collect();
+            assert_eq!(ns.len(), pg.degree(v));
+            for &w in &ns {
+                assert!(pg.has_edge(v, w));
+            }
+            // Spot-check a few non-neighbors.
+            for w in pg.shape().ranks().step_by(7) {
+                if w != v && !ns.contains(&w) {
+                    assert!(!pg.has_edge(v, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_along_partitions_neighbors() {
+        let pg = ProductNetwork::new(&factories::cycle(4), 3);
+        for v in [0u64, 21, 63] {
+            let mut by_dim: Vec<u64> = (0..3).flat_map(|d| pg.neighbors_along(v, d)).collect();
+            let mut all: Vec<u64> = pg.neighbors(v).collect();
+            by_dim.sort_unstable();
+            all.sort_unstable();
+            assert_eq!(by_dim, all);
+        }
+    }
+
+    #[test]
+    fn degree_is_sum_of_factor_degrees() {
+        let g = factories::star(4); // degrees: 3, 1, 1, 1
+        let pg = ProductNetwork::new(&g, 2);
+        // Node (0,0): degree 3 + 3 = 6; node (1,1): 1 + 1 = 2.
+        assert_eq!(pg.degree(0), 6);
+        assert_eq!(pg.degree(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected_factor() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = ProductNetwork::new(&g, 2);
+    }
+}

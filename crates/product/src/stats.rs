@@ -1,0 +1,83 @@
+//! Closed-form structural statistics of product networks, with
+//! verification helpers used by the structural experiments (E01).
+
+use crate::network::ProductNetwork;
+use pns_graph::{diameter, Graph};
+
+/// Structural summary of a product network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductStats {
+    /// Factor size `N`.
+    pub n: usize,
+    /// Dimensions `r`.
+    pub r: usize,
+    /// `N^r`.
+    pub nodes: u64,
+    /// `r · N^{r-1} · |E_G|`.
+    pub edges: u64,
+    /// `r · Δ(G)` (max degree).
+    pub max_degree: usize,
+    /// `r · diam(G)` — the product diameter (the paper's grid lower-bound
+    /// argument uses `diam = r(N-1)`).
+    pub diameter: u32,
+}
+
+/// Compute the closed-form statistics (diameter via the factor's diameter;
+/// exact for homogeneous products of connected factors).
+#[must_use]
+pub fn product_stats(factor: &Graph, r: usize) -> ProductStats {
+    let pg = ProductNetwork::new(factor, r);
+    ProductStats {
+        n: factor.n(),
+        r,
+        nodes: pg.node_count(),
+        edges: pg.edge_count(),
+        max_degree: r * factor.max_degree(),
+        diameter: r as u32 * diameter(factor),
+    }
+}
+
+/// Verify the closed forms against the explicit graph (small networks).
+#[must_use]
+pub fn verify_stats(factor: &Graph, r: usize) -> bool {
+    let stats = product_stats(factor, r);
+    let pg = ProductNetwork::new(factor, r);
+    let eg = pg.to_graph();
+    stats.nodes == eg.n() as u64
+        && stats.edges == eg.edge_count() as u64
+        && stats.max_degree == eg.max_degree()
+        && stats.diameter == diameter(&eg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pns_graph::factories;
+
+    #[test]
+    fn grid_stats() {
+        let s = product_stats(&factories::path(4), 2);
+        assert_eq!(s.nodes, 16);
+        assert_eq!(s.edges, 24);
+        assert_eq!(s.diameter, 6); // 2 * (N-1)
+        assert!(verify_stats(&factories::path(4), 2));
+    }
+
+    #[test]
+    fn hypercube_stats() {
+        let s = product_stats(&factories::k2(), 5);
+        assert_eq!(s.nodes, 32);
+        assert_eq!(s.edges, 80);
+        assert_eq!(s.diameter, 5);
+        assert_eq!(s.max_degree, 5);
+        assert!(verify_stats(&factories::k2(), 5));
+    }
+
+    #[test]
+    fn verified_for_various_factors() {
+        assert!(verify_stats(&factories::cycle(4), 2));
+        assert!(verify_stats(&factories::complete_binary_tree(2), 2));
+        assert!(verify_stats(&factories::petersen(), 1));
+        assert!(verify_stats(&factories::path(3), 3));
+    }
+}

@@ -1,0 +1,233 @@
+//! Subgraph extraction: the `[u]PG^i_{r-1}` decompositions of Section 2.
+//!
+//! Erasing all dimension-`i` edges of `PG_r` and keeping the nodes whose
+//! labels carry `u` at position `i` yields a subgraph isomorphic to
+//! `PG_{r-1}`; fixing several positions yields lower products. The sorting
+//! algorithm constantly works with such subgraphs: the `N` input sequences
+//! of a merge live on `[u]PG^k_{k-1}` subgraphs, Step 4 operates on the
+//! `PG_2` subgraphs at dimensions `{1, 2}`, and so on.
+
+use crate::network::ProductNetwork;
+use pns_order::radix::Shape;
+use pns_order::snake::snake_pos_of_node;
+
+/// A subgraph of `PG_r` specified by fixing digits at some dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgraphSpec {
+    /// `(dimension index, digit value)` pairs; dimensions must be distinct.
+    pub fixed: Vec<(usize, usize)>,
+}
+
+impl SubgraphSpec {
+    /// Fix a single dimension: the paper's `[u]PG^i_{r-1}` (with
+    /// `i = dim + 1` in the paper's 1-based indexing).
+    #[must_use]
+    pub fn fix(dim: usize, digit: usize) -> Self {
+        SubgraphSpec {
+            fixed: vec![(dim, digit)],
+        }
+    }
+
+    /// Fix several dimensions, e.g. `[u, v]PG^{k,1}_{r-2}`.
+    #[must_use]
+    pub fn fix_many(fixed: &[(usize, usize)]) -> Self {
+        let mut dims: Vec<usize> = fixed.iter().map(|&(d, _)| d).collect();
+        dims.sort_unstable();
+        dims.dedup();
+        assert_eq!(dims.len(), fixed.len(), "fixed dimensions must be distinct");
+        SubgraphSpec {
+            fixed: fixed.to_vec(),
+        }
+    }
+
+    /// The free (unfixed) dimensions, ascending.
+    #[must_use]
+    pub fn free_dims(&self, r: usize) -> Vec<usize> {
+        (0..r)
+            .filter(|d| !self.fixed.iter().any(|&(fd, _)| fd == *d))
+            .collect()
+    }
+
+    /// `true` iff `node` belongs to this subgraph.
+    #[must_use]
+    pub fn contains(&self, shape: Shape, node: u64) -> bool {
+        self.fixed.iter().all(|&(d, v)| shape.digit(node, d) == v)
+    }
+}
+
+/// All node ranks of the subgraph, ordered by the mixed-radix value of
+/// their free digits (least-significant free dimension varies fastest).
+#[must_use]
+pub fn subgraph_nodes(shape: Shape, spec: &SubgraphSpec) -> Vec<u64> {
+    let free = spec.free_dims(shape.r());
+    let mut base = 0u64;
+    for &(d, v) in &spec.fixed {
+        base = shape.with_digit(base, d, v);
+    }
+    let count = pns_order::radix::pow(shape.n(), free.len());
+    let mut out = Vec::with_capacity(count as usize);
+    for m in 0..count {
+        let mut node = base;
+        let mut rest = m;
+        for &d in &free {
+            node = shape.with_digit(node, d, (rest % shape.n() as u64) as usize);
+            rest /= shape.n() as u64;
+        }
+        out.push(node);
+    }
+    out
+}
+
+/// The nodes of a `PG_2` subgraph over dimensions `(dim_a, dim_b)` with the
+/// remaining digits given by `group`, listed in the subgraph's *forward
+/// snake order*: position `p` holds the node whose `(x_a, x_b)` coordinates
+/// are `snake2_unrank(p)` with `dim_a` playing the role of dimension 1.
+///
+/// `group` supplies the digits of the non-free dimensions in ascending
+/// dimension order.
+#[must_use]
+pub fn pg2_subgraph_nodes(
+    shape: Shape,
+    dim_a: usize,
+    dim_b: usize,
+    group: &[(usize, usize)],
+) -> Vec<u64> {
+    assert_ne!(dim_a, dim_b);
+    let n = shape.n();
+    let mut base = 0u64;
+    for &(d, v) in group {
+        assert!(d != dim_a && d != dim_b, "group digit on a free dimension");
+        base = shape.with_digit(base, d, v);
+    }
+    let mut out = Vec::with_capacity(n * n);
+    for pos in 0..(n * n) as u64 {
+        let (xa, xb) = pns_order::snake::snake2_unrank(n, pos);
+        let node = shape.with_digit(shape.with_digit(base, dim_a, xa), dim_b, xb);
+        out.push(node);
+    }
+    out
+}
+
+/// Verify (for tests and the structural experiments) that a subgraph with
+/// one fixed dimension is isomorphic to `PG_{r-1}`: same node count, and
+/// the induced adjacency matches `PG_{r-1}` adjacency under digit deletion.
+#[must_use]
+pub fn subgraph_is_lower_product(pg: &ProductNetwork, dim: usize, digit: usize) -> bool {
+    let shape = pg.shape();
+    let r = shape.r();
+    if r < 2 {
+        return false;
+    }
+    let spec = SubgraphSpec::fix(dim, digit);
+    let nodes = subgraph_nodes(shape, &spec);
+    let lower = ProductNetwork::new(pg.factor(), r - 1);
+    let delete_digit = |node: u64| -> u64 {
+        let mut digits = shape.unrank(node);
+        digits.remove(dim);
+        lower.shape().rank(&digits)
+    };
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in nodes.iter().skip(i + 1) {
+            let here = pg.has_edge(a, b);
+            let there = lower.has_edge(delete_digit(a), delete_digit(b));
+            if here != there {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Snake positions (within the whole network) of a subgraph's nodes — used
+/// to check Step 1's "no data movement" claim in tests.
+#[must_use]
+pub fn snake_positions(shape: Shape, nodes: &[u64]) -> Vec<u64> {
+    nodes.iter().map(|&v| snake_pos_of_node(shape, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pns_graph::factories;
+    use pns_order::positions_of_dim1_digit;
+
+    #[test]
+    fn fixing_one_dim_gives_lower_product() {
+        let pg = ProductNetwork::new(&factories::path(3), 3);
+        for dim in 0..3 {
+            for digit in 0..3 {
+                assert!(
+                    subgraph_is_lower_product(&pg, dim, digit),
+                    "dim={dim} digit={digit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_decomposition_counts() {
+        // Fig. 2: erasing dimension-one edges of the 27-node PG_3 leaves
+        // three PG_2 subgraphs of 9 nodes each.
+        let pg = ProductNetwork::new(&factories::path(3), 3);
+        let shape = pg.shape();
+        let mut all = Vec::new();
+        for u in 0..3 {
+            let nodes = subgraph_nodes(shape, &SubgraphSpec::fix(0, u));
+            assert_eq!(nodes.len(), 9);
+            all.extend(nodes);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 27, "subgraphs partition the nodes");
+    }
+
+    #[test]
+    fn fix_many_rejects_duplicate_dims() {
+        let result = std::panic::catch_unwind(|| SubgraphSpec::fix_many(&[(0, 1), (0, 2)]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pg2_nodes_follow_forward_snake() {
+        let shape = Shape::new(3, 3);
+        let nodes = pg2_subgraph_nodes(shape, 0, 1, &[(2, 2)]);
+        assert_eq!(nodes.len(), 9);
+        for (pos, &node) in nodes.iter().enumerate() {
+            let (x1, x2) = pns_order::snake::snake2_unrank(3, pos as u64);
+            assert_eq!(shape.digit(node, 0), x1);
+            assert_eq!(shape.digit(node, 1), x2);
+            assert_eq!(shape.digit(node, 2), 2);
+        }
+    }
+
+    /// Section 2 / Step 1: if `PG_r` holds keys sorted in snake order, the
+    /// keys on `[u]PG¹_{r-1}` occupy positions u, 2N-u-1, 2N+u, … of the
+    /// whole sequence, and are themselves in the subgraph's snake order.
+    #[test]
+    fn dim1_subgraph_positions_match_paper_formula() {
+        let shape = Shape::new(3, 3);
+        for u in 0..3usize {
+            let nodes = subgraph_nodes(shape, &SubgraphSpec::fix(0, u));
+            let mut positions = snake_positions(shape, &nodes);
+            positions.sort_unstable();
+            let expect: Vec<u64> = positions_of_dim1_digit(3, 27, u).collect();
+            assert_eq!(positions, expect, "u={u}");
+        }
+    }
+
+    #[test]
+    fn free_dims_are_complement() {
+        let spec = SubgraphSpec::fix_many(&[(0, 1), (3, 2)]);
+        assert_eq!(spec.free_dims(5), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn contains_checks_fixed_digits() {
+        let shape = Shape::new(3, 3);
+        let spec = SubgraphSpec::fix_many(&[(0, 1), (2, 2)]);
+        for node in shape.ranks() {
+            let expect = shape.digit(node, 0) == 1 && shape.digit(node, 2) == 2;
+            assert_eq!(spec.contains(shape, node), expect);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for product-network structure.
+
+use pns_graph::factories;
+use pns_product::subgraph::{pg2_subgraph_nodes, subgraph_nodes, SubgraphSpec};
+use pns_product::ProductNetwork;
+use proptest::prelude::*;
+
+fn small_product() -> impl Strategy<Value = (ProductNetwork, u64)> {
+    (2usize..6, 2usize..4, any::<u64>())
+        .prop_filter("size cap", |&(n, r, _)| (n as u64).pow(r as u32) <= 4096)
+        .prop_map(|(n, r, seed)| {
+            // Cycle through a few factor families of matching size.
+            let g = match seed % 3 {
+                0 => factories::path(n),
+                1 if n >= 3 => factories::cycle(n),
+                _ => factories::complete(n),
+            };
+            (ProductNetwork::new(&g, r), seed)
+        })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive((pg, seed) in small_product()) {
+        let len = pg.node_count();
+        let a = seed % len;
+        let b = (seed >> 17) % len;
+        prop_assert!(!pg.has_edge(a, a));
+        prop_assert_eq!(pg.has_edge(a, b), pg.has_edge(b, a));
+    }
+
+    #[test]
+    fn neighbors_are_exactly_the_edges((pg, seed) in small_product()) {
+        let v = seed % pg.node_count();
+        let ns: Vec<u64> = pg.neighbors(v).collect();
+        prop_assert_eq!(ns.len(), pg.degree(v));
+        for &w in &ns {
+            prop_assert!(pg.has_edge(v, w));
+        }
+    }
+
+    #[test]
+    fn edge_count_closed_form((pg, _) in small_product()) {
+        let shape = pg.shape();
+        let expect = shape.r() as u64
+            * shape.stride(shape.r() - 1)
+            * pg.factor().edge_count() as u64;
+        prop_assert_eq!(pg.edge_count(), expect);
+        // Handshake: sum of degrees = 2 |E|.
+        let total_degree: u64 = shape.ranks().map(|v| pg.degree(v) as u64).sum();
+        prop_assert_eq!(total_degree, 2 * pg.edge_count());
+    }
+
+    #[test]
+    fn one_dim_subgraphs_partition_nodes((pg, seed) in small_product()) {
+        let shape = pg.shape();
+        let dim = (seed as usize) % shape.r();
+        let mut all: Vec<u64> = Vec::new();
+        for u in 0..shape.n() {
+            all.extend(subgraph_nodes(shape, &SubgraphSpec::fix(dim, u)));
+        }
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len() as u64, shape.len());
+    }
+
+    #[test]
+    fn pg2_subgraph_nodes_have_right_digits((pg, seed) in small_product()) {
+        let shape = pg.shape();
+        prop_assume!(shape.r() >= 3);
+        let group_digit = (seed as usize) % shape.n();
+        let nodes = pg2_subgraph_nodes(shape, 0, 1, &[(2, group_digit)]);
+        prop_assert_eq!(nodes.len(), shape.n() * shape.n());
+        for (pos, &v) in nodes.iter().enumerate() {
+            let (x1, x2) = pns_order::snake::snake2_unrank(shape.n(), pos as u64);
+            prop_assert_eq!(shape.digit(v, 0), x1);
+            prop_assert_eq!(shape.digit(v, 1), x2);
+            prop_assert_eq!(shape.digit(v, 2), group_digit);
+        }
+    }
+
+    #[test]
+    fn snake_consecutive_nodes_connected_for_hamiltonian_factors(
+        n in 2usize..6, r in 2usize..4, seed in any::<u64>(),
+    ) {
+        // With path-labeled (Hamiltonian) factors, consecutive snake nodes
+        // are actual edges of the product network — the Section 2 payoff.
+        prop_assume!((n as u64).pow(r as u32) <= 4096);
+        let pg = ProductNetwork::new(&factories::path(n), r);
+        let shape = pg.shape();
+        let pos = seed % (shape.len() - 1);
+        let a = pns_order::snake::node_at_snake_pos(shape, pos);
+        let b = pns_order::snake::node_at_snake_pos(shape, pos + 1);
+        prop_assert!(pg.has_edge(a, b), "snake hop {pos} not an edge");
+    }
+}

@@ -1,0 +1,697 @@
+//! A bulk-synchronous machine model with per-node state and edge-aligned
+//! operations — the paper's machine, made explicit.
+//!
+//! Section 4: "Before the sorting algorithm starts, each processor holds
+//! one of the keys to be sorted. During the sorting algorithm, each
+//! processor needs enough memory to hold at most two values being
+//! compared." This module enforces exactly that discipline:
+//!
+//! * every node holds one resident key plus two small transit slots (a
+//!   relay buffer per stream direction, needed only on non-Hamiltonian
+//!   factors where compare partners are up to three hops apart);
+//! * every operation in a round moves data across **one edge** of the
+//!   product network or is node-local; the machine *verifies* adjacency
+//!   and slot discipline at execution time and panics on violations.
+//!
+//! Because the sorting algorithm is oblivious, its schedule can be
+//! compiled once ([`compile`]) — by replaying the round-level algorithm
+//! with a recording engine and lowering every compare round to
+//! edge-aligned rounds — and then executed on any input
+//! ([`BspMachine::run`]).
+
+use crate::engine::{Engine, Pg2Instance};
+use crate::netsort::network_sort;
+use crate::sorters::Pg2Sorter;
+use pns_graph::Graph;
+use pns_order::radix::Shape;
+use pns_order::Direction;
+use std::collections::HashMap;
+
+/// One machine operation within a synchronous round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Op {
+    /// Adjacent compare-exchange: nodes `a` and `b` swap keys over the
+    /// edge if out of order; the minimum ends at `a` when `min_to_a`.
+    CompareExchange {
+        /// First endpoint.
+        a: u64,
+        /// Second endpoint.
+        b: u64,
+        /// `true`: minimum to `a`; `false`: minimum to `b`.
+        min_to_a: bool,
+    },
+    /// Copy a value one hop: the source is `from`'s resident key
+    /// (`from_key = true`, the first hop of a relay) or `from`'s transit
+    /// slot `slot`; the value lands in `to`'s transit slot `slot`.
+    Move {
+        /// Sending node.
+        from: u64,
+        /// Receiving node (must be adjacent).
+        to: u64,
+        /// Transit slot index (0: forward stream, 1: backward stream).
+        slot: u8,
+        /// Whether the payload is the sender's resident key.
+        from_key: bool,
+    },
+    /// Local resolution at the end of a relayed compare: `node` compares
+    /// its resident key with the arrived transit value in `slot` and
+    /// keeps the minimum (`keep_min`) or maximum; the slot is cleared.
+    Resolve {
+        /// Resolving node.
+        node: u64,
+        /// Transit slot holding the partner's key.
+        slot: u8,
+        /// Keep the minimum of {resident, arrived}.
+        keep_min: bool,
+    },
+}
+
+/// A synchronous round of operations. Disjointness (each node's key and
+/// each slot touched at most once per round, each edge used at most once
+/// per direction) is validated at execution.
+pub type BspRound = Vec<Op>;
+
+/// A compiled, input-independent schedule for one sort. Serializable, so
+/// a schedule can be compiled once and shipped to the machine that runs
+/// it (the machine re-validates every operation anyway).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CompiledProgram {
+    shape: Shape,
+    rounds: Vec<BspRound>,
+}
+
+impl CompiledProgram {
+    /// Number of synchronous rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total operations across all rounds.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// The rounds themselves (for inspection/statistics).
+    #[must_use]
+    pub fn round_ops(&self) -> &[BspRound] {
+        &self.rounds
+    }
+
+    /// The shape this program sorts.
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+}
+
+/// The BSP machine: executes compiled programs with full validation.
+pub struct BspMachine {
+    network: NetworkView,
+    shape: Shape,
+}
+
+/// Adjacency view over the product network (rank-based, no edge lists).
+struct NetworkView {
+    factor: Graph,
+    shape: Shape,
+}
+
+impl NetworkView {
+    fn new(factor: &Graph, shape: Shape) -> Self {
+        NetworkView {
+            factor: factor.clone(),
+            shape,
+        }
+    }
+
+    /// `true` iff `(a, b)` is an edge of the product network.
+    fn has_edge(&self, a: u64, b: u64) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut differing = None;
+        for i in 0..self.shape.r() {
+            let (da, db) = (self.shape.digit(a, i), self.shape.digit(b, i));
+            if da != db {
+                if differing.is_some() {
+                    return false;
+                }
+                differing = Some((da, db));
+            }
+        }
+        differing.is_some_and(|(da, db)| self.factor.has_edge(da as u32, db as u32))
+    }
+}
+
+impl BspMachine {
+    /// Build a machine over the product of `factor` with `r` dimensions.
+    #[must_use]
+    pub fn new(factor: &Graph, r: usize) -> Self {
+        let shape = Shape::new(factor.n(), r);
+        BspMachine {
+            network: NetworkView::new(factor, shape),
+            shape,
+        }
+    }
+
+    /// The machine's shape.
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Execute a compiled program on `keys` (one per node, by rank).
+    /// Returns the number of rounds executed (= `program.rounds()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any machine-model violation: non-adjacent operation,
+    /// edge used twice in one direction in a round, node key or transit
+    /// slot accessed twice in a round, move into an occupied slot,
+    /// resolve of an empty slot, or leftover transit values at the end.
+    pub fn run<K: Ord + Clone>(&self, keys: &mut [K], program: &CompiledProgram) -> u64 {
+        assert_eq!(
+            program.shape, self.shape,
+            "program compiled for another shape"
+        );
+        assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
+        let n_nodes = keys.len();
+        let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; n_nodes];
+
+        for (ri, round) in program.rounds.iter().enumerate() {
+            // Per-round discipline tracking.
+            let mut key_touched = vec![false; n_nodes];
+            let mut slot_written: HashMap<(u64, u8), ()> = HashMap::new();
+            let mut edge_used: HashMap<(u64, u64), ()> = HashMap::new();
+            // Reads of transit slots happen against the *previous* round's
+            // state: buffer incoming values and commit after the round.
+            let mut incoming: Vec<(u64, u8, K)> = Vec::new();
+            let mut cleared: Vec<(u64, u8)> = Vec::new();
+
+            let touch_key = |v: u64, key_touched: &mut [bool]| {
+                assert!(
+                    !key_touched[v as usize],
+                    "round {ri}: node {v} key accessed twice"
+                );
+                key_touched[v as usize] = true;
+            };
+
+            for op in round {
+                match *op {
+                    Op::CompareExchange { a, b, min_to_a } => {
+                        assert!(
+                            self.network.has_edge(a, b),
+                            "round {ri}: compare-exchange ({a},{b}) is not an edge"
+                        );
+                        for (x, y) in [(a, b), (b, a)] {
+                            assert!(
+                                edge_used.insert((x, y), ()).is_none(),
+                                "round {ri}: edge ({x}->{y}) used twice"
+                            );
+                        }
+                        touch_key(a, &mut key_touched);
+                        touch_key(b, &mut key_touched);
+                        let (ai, bi) = (a as usize, b as usize);
+                        let a_has_min = keys[ai] <= keys[bi];
+                        if a_has_min != min_to_a {
+                            keys.swap(ai, bi);
+                        }
+                    }
+                    Op::Move {
+                        from,
+                        to,
+                        slot,
+                        from_key,
+                    } => {
+                        assert!(slot < 2, "round {ri}: bad slot {slot}");
+                        assert!(
+                            self.network.has_edge(from, to),
+                            "round {ri}: move ({from}->{to}) is not an edge"
+                        );
+                        assert!(
+                            edge_used.insert((from, to), ()).is_none(),
+                            "round {ri}: edge ({from}->{to}) used twice"
+                        );
+                        let payload =
+                            if from_key {
+                                keys[from as usize].clone()
+                            } else {
+                                let v =
+                                    transit[from as usize][slot as usize].take().unwrap_or_else(
+                                        || panic!("round {ri}: node {from} slot {slot} empty"),
+                                    );
+                                cleared.push((from, slot));
+                                v
+                            };
+                        assert!(
+                            slot_written.insert((to, slot), ()).is_none(),
+                            "round {ri}: node {to} slot {slot} written twice"
+                        );
+                        incoming.push((to, slot, payload));
+                    }
+                    Op::Resolve {
+                        node,
+                        slot,
+                        keep_min,
+                    } => {
+                        assert!(slot < 2, "round {ri}: bad slot {slot}");
+                        touch_key(node, &mut key_touched);
+                        let arrived =
+                            transit[node as usize][slot as usize]
+                                .take()
+                                .unwrap_or_else(|| {
+                                    panic!("round {ri}: resolve of empty slot {slot} at {node}")
+                                });
+                        let resident = &mut keys[node as usize];
+                        let keep_arrived = if keep_min {
+                            arrived < *resident
+                        } else {
+                            arrived > *resident
+                        };
+                        if keep_arrived {
+                            *resident = arrived;
+                        }
+                    }
+                }
+            }
+            // Commit moves.
+            for (to, slot, payload) in incoming {
+                let dst = &mut transit[to as usize][slot as usize];
+                assert!(
+                    dst.is_none(),
+                    "round {ri}: node {to} slot {slot} still occupied"
+                );
+                *dst = Some(payload);
+            }
+            let _ = cleared;
+        }
+        assert!(
+            transit.iter().all(|t| t[0].is_none() && t[1].is_none()),
+            "transit values left in flight after the program ended"
+        );
+        program.rounds.len() as u64
+    }
+}
+
+/// One logical pair round captured from the algorithm: simultaneous
+/// compare-exchanges, possibly between non-adjacent nodes.
+#[derive(Debug, Clone)]
+struct LogicalRound {
+    /// `(a, b, min_to_a)` triples, node-disjoint.
+    pairs: Vec<(u64, u64, bool)>,
+}
+
+/// Engine that records the algorithm's logical pair rounds instead of
+/// costing them. Data is still updated (cheaply) so the replay stays
+/// well-formed; obliviousness guarantees the recorded schedule is valid
+/// for every input.
+struct RecordingEngine {
+    program: Vec<Vec<(u32, u32)>>,
+    recorded: Vec<LogicalRound>,
+}
+
+impl RecordingEngine {
+    fn new(sorter: &dyn Pg2Sorter, n: usize) -> Self {
+        let program = sorter.program(n);
+        crate::sorters::validate_program(n, &program);
+        RecordingEngine {
+            program,
+            recorded: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> Engine<K> for RecordingEngine {
+    fn sort_round(&mut self, keys: &mut [K], subgraphs: &[Pg2Instance]) -> u64 {
+        for round in &self.program {
+            let mut pairs = Vec::with_capacity(round.len() * subgraphs.len());
+            for sg in subgraphs {
+                for &(p, q) in round {
+                    let (a, b) = (sg.nodes[p as usize], sg.nodes[q as usize]);
+                    let min_to_a = sg.dir == Direction::Ascending;
+                    pairs.push((a, b, min_to_a));
+                    let (ai, bi) = (a as usize, b as usize);
+                    let a_has_min = keys[ai] <= keys[bi];
+                    if a_has_min != min_to_a {
+                        keys.swap(ai, bi);
+                    }
+                }
+            }
+            self.recorded.push(LogicalRound { pairs });
+        }
+        self.program.len() as u64
+    }
+
+    fn oet_round(&mut self, keys: &mut [K], pairs: &[(u64, u64)]) -> u64 {
+        let mut rec = Vec::with_capacity(pairs.len());
+        for &(a, b) in pairs {
+            rec.push((a, b, true));
+            let (ai, bi) = (a as usize, b as usize);
+            if keys[ai] > keys[bi] {
+                keys.swap(ai, bi);
+            }
+        }
+        self.recorded.push(LogicalRound { pairs: rec });
+        1
+    }
+}
+
+/// Compile the full sorting algorithm for the product of `factor` with
+/// `r` dimensions, using `sorter`'s comparator program for the `PG_2`
+/// sorts, into an edge-aligned [`CompiledProgram`].
+///
+/// ```
+/// use pns_graph::factories;
+/// use pns_simulator::bsp::{compile, BspMachine};
+/// use pns_simulator::Hypercube2Sorter;
+///
+/// let factor = factories::k2();
+/// let program = compile(&factor, 4, &Hypercube2Sorter);
+/// let machine = BspMachine::new(&factor, 4);
+/// let mut keys: Vec<u32> = (0..16).rev().collect();
+/// machine.run(&mut keys, &program); // validates every op against the 4-cube
+/// assert!(pns_simulator::netsort::is_snake_sorted(machine.shape(), &keys));
+/// ```
+///
+/// Compare pairs between adjacent nodes become single
+/// [`Op::CompareExchange`] rounds; non-adjacent pairs (non-Hamiltonian
+/// labelings) are lowered to bidirectional relays along shortest paths,
+/// scheduled into edge-disjoint waves.
+#[must_use]
+pub fn compile(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) -> CompiledProgram {
+    let shape = Shape::new(factor.n(), r);
+    let mut engine = RecordingEngine::new(sorter, shape.n());
+    // Replay on dummy data; the schedule is input-independent.
+    let mut dummy: Vec<u32> = (0..shape.len() as u32).collect();
+    let _ = network_sort(shape, &mut dummy, &mut engine);
+
+    let mut rounds: Vec<BspRound> = Vec::new();
+    for logical in &engine.recorded {
+        lower_pair_round(factor, shape, &logical.pairs, &mut rounds);
+    }
+    CompiledProgram { shape, rounds }
+}
+
+/// Lower one logical pair round. Adjacent pairs go into a single
+/// compare-exchange round; relayed pairs are grouped into waves whose
+/// path edge sets are disjoint, each wave taking `max path length` move
+/// rounds plus a shared resolve round.
+fn lower_pair_round(
+    factor: &Graph,
+    shape: Shape,
+    pairs: &[(u64, u64, bool)],
+    rounds: &mut Vec<BspRound>,
+) {
+    if pairs.is_empty() {
+        // The synchronous round elapses even when this parity class is
+        // empty (matching the executed engine's accounting).
+        rounds.push(Vec::new());
+        return;
+    }
+    let mut adjacent: BspRound = Vec::new();
+    let mut relayed: Vec<(Vec<u64>, bool)> = Vec::new(); // (path a..b, min_to_a)
+    for &(a, b, min_to_a) in pairs {
+        // Pairs differ in exactly one dimension; the path stays inside
+        // that factor copy.
+        let dim = (0..shape.r())
+            .find(|&i| shape.digit(a, i) != shape.digit(b, i))
+            .expect("pair endpoints must differ");
+        let (da, db) = (shape.digit(a, dim) as u32, shape.digit(b, dim) as u32);
+        if factor.has_edge(da, db) {
+            adjacent.push(Op::CompareExchange { a, b, min_to_a });
+        } else {
+            let fpath = pns_graph::shortest_path(factor, da, db).expect("factor is connected");
+            let path: Vec<u64> = fpath
+                .iter()
+                .map(|&f| shape.with_digit(a, dim, f as usize))
+                .collect();
+            relayed.push((path, min_to_a));
+        }
+    }
+    if !adjacent.is_empty() {
+        rounds.push(adjacent);
+    }
+    // Wave-schedule the relayed pairs: a wave's paths must be
+    // node-disjoint, so every relay node has both transit slots free for
+    // its one pair's forward and backward streams.
+    let mut remaining = relayed;
+    while !remaining.is_empty() {
+        let mut wave: Vec<(Vec<u64>, bool)> = Vec::new();
+        let mut used_nodes: HashMap<u64, ()> = HashMap::new();
+        let mut rest = Vec::new();
+        for (path, min_to_a) in remaining {
+            if path.iter().any(|v| used_nodes.contains_key(v)) {
+                rest.push((path, min_to_a));
+            } else {
+                for &v in &path {
+                    used_nodes.insert(v, ());
+                }
+                wave.push((path, min_to_a));
+            }
+        }
+        emit_wave(&wave, rounds);
+        remaining = rest;
+    }
+}
+
+/// Emit the move/resolve rounds for one edge-disjoint wave of relays.
+fn emit_wave(wave: &[(Vec<u64>, bool)], rounds: &mut Vec<BspRound>) {
+    let max_hops = wave.iter().map(|(p, _)| p.len() - 1).max().unwrap_or(0);
+    // Hop rounds: slot 0 carries a→b, slot 1 carries b→a, simultaneously
+    // (full-duplex edges; the machine checks per-direction capacity).
+    for h in 0..max_hops {
+        let mut round: BspRound = Vec::new();
+        for (path, _) in wave {
+            let hops = path.len() - 1;
+            if h < hops {
+                round.push(Op::Move {
+                    from: path[h],
+                    to: path[h + 1],
+                    slot: 0,
+                    from_key: h == 0,
+                });
+                round.push(Op::Move {
+                    from: path[hops - h],
+                    to: path[hops - h - 1],
+                    slot: 1,
+                    from_key: h == 0,
+                });
+            }
+        }
+        rounds.push(round);
+    }
+    // Resolve round: both endpoints decide locally.
+    let mut resolve: BspRound = Vec::new();
+    for (path, min_to_a) in wave {
+        let (a, b) = (path[0], *path.last().expect("non-empty path"));
+        resolve.push(Op::Resolve {
+            node: a,
+            slot: 1,
+            keep_min: *min_to_a,
+        });
+        resolve.push(Op::Resolve {
+            node: b,
+            slot: 0,
+            keep_min: !*min_to_a,
+        });
+    }
+    if !resolve.is_empty() {
+        rounds.push(resolve);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorters::{Hypercube2Sorter, OetSnakeSorter, ShearSorter};
+    use crate::{ExecutedEngine, Machine};
+    use pns_graph::factories;
+
+    fn snake_sorted<K: Ord>(shape: Shape, keys: &[K]) -> bool {
+        crate::netsort::is_snake_sorted(shape, keys)
+    }
+
+    #[test]
+    fn compiled_grid_program_sorts() {
+        let factor = factories::path(4);
+        let program = compile(&factor, 2, &ShearSorter);
+        let machine = BspMachine::new(&factor, 2);
+        let mut keys: Vec<u32> = (0..16).rev().collect();
+        let rounds = machine.run(&mut keys, &program);
+        assert!(snake_sorted(machine.shape(), &keys));
+        assert_eq!(rounds as usize, program.rounds());
+    }
+
+    #[test]
+    fn compiled_rounds_match_executed_engine_on_hamiltonian_factors() {
+        // On a Hamiltonian-labeled factor every logical pair is an edge,
+        // so BSP rounds == executed-engine steps.
+        for (factor, r, sorter) in [
+            (factories::path(3), 3usize, &ShearSorter as &dyn Pg2Sorter),
+            (factories::path(5), 2, &OetSnakeSorter),
+            (factories::k2(), 5, &Hypercube2Sorter),
+        ] {
+            let program = compile(&factor, r, sorter);
+            let shape = program.shape();
+            let mut engine = ExecutedEngine::new(&factor, shape, sorter);
+            let mut keys: Vec<u64> = (0..shape.len()).rev().collect();
+            let out = network_sort(shape, &mut keys, &mut engine);
+            assert_eq!(program.rounds() as u64, out.steps, "{factor:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn compiled_program_is_input_independent() {
+        let factor = factories::path(3);
+        let program = compile(&factor, 3, &ShearSorter);
+        let machine = BspMachine::new(&factor, 3);
+        let mut state = 11u64;
+        for _ in 0..10 {
+            let mut keys: Vec<u64> = (0..27)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    state >> 40
+                })
+                .collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            machine.run(&mut keys, &program);
+            let sorted = crate::netsort::read_snake_order(machine.shape(), &keys);
+            assert_eq!(sorted, expect);
+        }
+    }
+
+    #[test]
+    fn hypercube_program_zero_one_exhaustive() {
+        // Exhaustive for the 3-cube; the 4-cube (2^16 inputs) is covered
+        // by the release-mode integration sweep.
+        let factor = factories::k2();
+        let program = compile(&factor, 3, &Hypercube2Sorter);
+        let machine = BspMachine::new(&factor, 3);
+        for mask in 0u32..(1 << 8) {
+            let mut keys: Vec<u8> = (0..8).map(|i| ((mask >> i) & 1) as u8).collect();
+            machine.run(&mut keys, &program);
+            assert!(snake_sorted(machine.shape(), &keys), "mask={mask:#x}");
+        }
+    }
+
+    #[test]
+    fn non_hamiltonian_factor_uses_relays_and_still_sorts() {
+        // Star factor: compares between leaves relay through the hub.
+        let factor = factories::star(4);
+        let program = compile(&factor, 2, &OetSnakeSorter);
+        let machine = BspMachine::new(&factor, 2);
+        let mut keys: Vec<u32> = (0..16).map(|x| (x * 11) % 17).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        machine.run(&mut keys, &program);
+        assert_eq!(
+            crate::netsort::read_snake_order(machine.shape(), &keys),
+            expect
+        );
+        // Relays exist: some rounds carry Move/Resolve ops.
+        let has_moves = program
+            .rounds
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, Op::Move { .. }));
+        assert!(has_moves, "expected relayed compares on the star factor");
+    }
+
+    #[test]
+    fn bsp_agrees_with_machine_api() {
+        let factor = Machine::prepare_factor(&factories::complete_binary_tree(3));
+        let program = compile(&factor, 2, &OetSnakeSorter);
+        let bsp = BspMachine::new(&factor, 2);
+        let keys: Vec<u64> = (0..49).map(|x| (x * 13) % 29).collect();
+        let mut bsp_keys = keys.clone();
+        bsp.run(&mut bsp_keys, &program);
+
+        let mut m = Machine::executed(&factor, 2, &OetSnakeSorter);
+        let rep = m.sort(keys).expect("49 keys");
+        assert_eq!(bsp_keys, rep.keys, "final configurations must agree");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn machine_rejects_non_edge_compare() {
+        let factor = factories::path(3);
+        let machine = BspMachine::new(&factor, 2);
+        let program = CompiledProgram {
+            shape: machine.shape(),
+            rounds: vec![vec![Op::CompareExchange {
+                a: 0,
+                b: 2, // labels 0 and 2 are not adjacent on the path
+                min_to_a: true,
+            }]],
+        };
+        let mut keys: Vec<u32> = (0..9).collect();
+        machine.run(&mut keys, &program);
+    }
+
+    #[test]
+    #[should_panic(expected = "key accessed twice")]
+    fn machine_rejects_node_reuse_in_round() {
+        let factor = factories::path(3);
+        let machine = BspMachine::new(&factor, 2);
+        let program = CompiledProgram {
+            shape: machine.shape(),
+            rounds: vec![vec![
+                Op::CompareExchange {
+                    a: 0,
+                    b: 1,
+                    min_to_a: true,
+                },
+                Op::CompareExchange {
+                    a: 1,
+                    b: 2,
+                    min_to_a: true,
+                },
+            ]],
+        };
+        let mut keys: Vec<u32> = (0..9).collect();
+        machine.run(&mut keys, &program);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve of empty slot")]
+    fn machine_rejects_resolving_empty_slot() {
+        let factor = factories::path(3);
+        let machine = BspMachine::new(&factor, 2);
+        let program = CompiledProgram {
+            shape: machine.shape(),
+            rounds: vec![vec![Op::Resolve {
+                node: 0,
+                slot: 0,
+                keep_min: true,
+            }]],
+        };
+        let mut keys: Vec<u32> = (0..9).collect();
+        machine.run(&mut keys, &program);
+    }
+
+    #[test]
+    fn compiled_programs_serialize_roundtrip() {
+        let factor = factories::path(3);
+        let program = compile(&factor, 2, &OetSnakeSorter);
+        let json = serde_json::to_string(&program).expect("serialize");
+        let back: CompiledProgram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.rounds(), program.rounds());
+        assert_eq!(back.op_count(), program.op_count());
+        // The deserialized program still runs and sorts.
+        let machine = BspMachine::new(&factor, 2);
+        let mut keys: Vec<u32> = (0..9).rev().collect();
+        machine.run(&mut keys, &back);
+        assert!(snake_sorted(machine.shape(), &keys));
+    }
+
+    #[test]
+    fn op_counts_are_reported() {
+        let factor = factories::path(3);
+        let program = compile(&factor, 2, &OetSnakeSorter);
+        assert!(program.op_count() > 0);
+        assert!(program.rounds() > 0);
+    }
+}

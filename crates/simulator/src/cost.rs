@@ -1,0 +1,180 @@
+//! Charged cost models: the `S2(N)` and `R(N)` constants of Section 5.
+//!
+//! Theorem 1 expresses the sorting time as
+//! `S_r(N) = (r-1)² S2(N) + (r-1)(r-2) R(N)`; each Section 5 network
+//! instantiates `S2` and `R`. A [`CostModel`] packages one such
+//! instantiation so the charged engine can reproduce the paper's closed
+//! forms by measurement.
+
+/// A charged cost model: steps per `PG_2` sort round and per factor
+/// permutation-routing round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Human-readable name (network + source of the constants).
+    pub name: String,
+    /// `S2(N)`: steps for one parallel round of `N²`-key `PG_2` sorts.
+    pub s2_steps: u64,
+    /// `R(N)`: steps for one odd-even transposition round (a permutation
+    /// routing within factor copies).
+    pub route_steps: u64,
+}
+
+impl CostModel {
+    /// Arbitrary constants.
+    #[must_use]
+    pub fn custom(name: &str, s2_steps: u64, route_steps: u64) -> Self {
+        CostModel {
+            name: name.to_owned(),
+            s2_steps,
+            route_steps,
+        }
+    }
+
+    /// §5.1 Grid: Schnorr–Shamir sort `S2 = 3N` \[30\]; a permutation on the
+    /// `N`-node linear array takes `R = N - 1` steps. Total:
+    /// `4(r-1)²N + o(r²N)`.
+    #[must_use]
+    pub fn paper_grid(n: usize) -> Self {
+        CostModel {
+            name: format!("grid(N={n}), Schnorr-Shamir S2=3N, R=N-1"),
+            s2_steps: 3 * n as u64,
+            route_steps: n as u64 - 1,
+        }
+    }
+
+    /// Corollary: torus constants — Kunde's sort `S2 = 2.5N` \[16\] (rounded
+    /// up) and `R = ⌊N/2⌋` on the `N`-node cycle. Total:
+    /// `3(r-1)²N + o(r²N)`.
+    #[must_use]
+    pub fn paper_torus(n: usize) -> Self {
+        CostModel {
+            name: format!("torus(N={n}), Kunde S2=2.5N, R=N/2"),
+            s2_steps: (5 * n as u64).div_ceil(2),
+            route_steps: n as u64 / 2,
+        }
+    }
+
+    /// Corollary: *any* connected factor graph, by emulating the torus
+    /// with slowdown at most 6 (dilation 3, congestion 2):
+    /// `S2 = 15N`, `R = 3N`, total `≤ 18(r-1)²N + o(r²N)`.
+    #[must_use]
+    pub fn paper_universal(n: usize) -> Self {
+        CostModel {
+            name: format!("universal(N={n}), torus emulation x6"),
+            s2_steps: 6 * (5 * n as u64).div_ceil(2),
+            route_steps: 6 * (n as u64 / 2),
+        }
+    }
+
+    /// §5.3 Hypercube (`N = 2`): snake-sorting the 4-node `PG_2` takes 3
+    /// steps, routing on the 1-dimensional hypercube takes 1. Total:
+    /// `3(r-1)² + (r-1)(r-2)`, matching Batcher's odd-even merge sort.
+    #[must_use]
+    pub fn paper_hypercube() -> Self {
+        CostModel {
+            name: "hypercube(N=2), S2=3, R=1".to_owned(),
+            s2_steps: 3,
+            route_steps: 1,
+        }
+    }
+
+    /// §5.4 Petersen cube (`N = 10`): the factor is Hamiltonian, so `PG_2`
+    /// contains the 10×10 grid as a subgraph and any grid algorithm sorts
+    /// the 100 keys in constant time — we charge Schnorr–Shamir's
+    /// `3·10 = 30` steps; routing along the embedded 10-node linear array
+    /// costs at most `N - 1 = 9`. Total: `O(r²)` with a modest constant,
+    /// as the paper remarks.
+    #[must_use]
+    pub fn paper_petersen() -> Self {
+        CostModel {
+            name: "petersen(N=10), grid-subgraph S2=30, R=9".to_owned(),
+            s2_steps: 30,
+            route_steps: 9,
+        }
+    }
+
+    /// §5.5 Products of (binary) de Bruijn / shuffle-exchange graphs with
+    /// `N = 2^b` nodes: `PG_2` emulates the `N²`-node de Bruijn graph with
+    /// dilation 2 and congestion 2, and Batcher's bitonic sort runs on the
+    /// `2^{2b}`-node shuffle-exchange emulation in `2b(2b+1)/2` stages of
+    /// ~2 steps each; we charge `S2 = 2 · (2b)(2b+1) = O(log² N)` and
+    /// `R = 2·(2b) = O(log N)` (one complement-routing pass). Total:
+    /// `O(r² log² N)`.
+    #[must_use]
+    pub fn paper_de_bruijn(bits: usize) -> Self {
+        let b = bits as u64;
+        CostModel {
+            name: format!("debruijn(N=2^{bits}), Batcher-on-emulated-SE"),
+            s2_steps: 2 * (2 * b) * (2 * b + 1),
+            route_steps: 2 * (2 * b),
+        }
+    }
+
+    /// Theorem 1's closed form under this model: the charged steps of
+    /// sorting `N^r` keys, `(r-1)² S2 + (r-1)(r-2) R`.
+    #[must_use]
+    pub fn predicted_sort_steps(&self, r: usize) -> u64 {
+        let r = r as u64;
+        (r - 1) * (r - 1) * self.s2_steps + (r - 1) * (r - 2) * self.route_steps
+    }
+
+    /// Lemma 3's closed form: charged steps of one `k`-dimensional merge,
+    /// `2(k-2)(S2 + R) + S2`.
+    #[must_use]
+    pub fn predicted_merge_steps(&self, k: usize) -> u64 {
+        let k = k as u64;
+        2 * (k - 2) * (self.s2_steps + self.route_steps) + self.s2_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_model_matches_section_5_1() {
+        let m = CostModel::paper_grid(16);
+        assert_eq!(m.s2_steps, 48);
+        assert_eq!(m.route_steps, 15);
+        // 4(r-1)²N dominates: for r=2, S_2 = S2 = 3N.
+        assert_eq!(m.predicted_sort_steps(2), 48);
+        // r=3: 4·S2 + 2·R = 12N + 2(N-1).
+        assert_eq!(m.predicted_sort_steps(3), 4 * 48 + 2 * 15);
+    }
+
+    #[test]
+    fn hypercube_model_matches_section_5_3() {
+        let m = CostModel::paper_hypercube();
+        // 3(r-1)² + (r-1)(r-2).
+        for r in 2..12 {
+            let rr = r as u64;
+            assert_eq!(
+                m.predicted_sort_steps(r),
+                3 * (rr - 1) * (rr - 1) + (rr - 1) * (rr - 2)
+            );
+        }
+    }
+
+    #[test]
+    fn universal_model_is_at_most_18_factor() {
+        for n in [4usize, 8, 16, 32] {
+            let m = CostModel::paper_universal(n);
+            for r in 2..8 {
+                let rr = (r - 1) as u64;
+                assert!(
+                    m.predicted_sort_steps(r) <= 18 * rr * rr * n as u64,
+                    "n={n} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_telescopes_to_theorem1() {
+        let m = CostModel::paper_torus(9);
+        for r in 3..9 {
+            let total: u64 = m.s2_steps + (3..=r).map(|k| m.predicted_merge_steps(k)).sum::<u64>();
+            assert_eq!(total, m.predicted_sort_steps(r), "r={r}");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! User-facing entry point: build a machine over a factor graph, feed it
+//! keys, get back a sorted configuration and a step report.
+
+use crate::cost::CostModel;
+use crate::engine::{ChargedEngine, ExecutedEngine};
+use crate::netsort::{is_snake_sorted, network_sort, read_snake_order, NetSortOutcome};
+use crate::sorters::Pg2Sorter;
+use pns_graph::{Graph, LinearEmbedding};
+use pns_order::radix::Shape;
+use std::fmt;
+
+/// Errors reported by [`Machine::sort`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortError {
+    /// The key vector does not have one key per node.
+    WrongKeyCount {
+        /// `N^r`.
+        expected: u64,
+        /// What was supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::WrongKeyCount { expected, got } => {
+                write!(f, "expected {expected} keys (one per node), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+enum EngineKind {
+    Charged(ChargedEngine),
+    Executed(ExecutedEngine),
+}
+
+/// A simulated `PG_r` machine ready to sort.
+pub struct Machine {
+    shape: Shape,
+    factor_name: String,
+    engine: EngineKind,
+}
+
+impl Machine {
+    /// A machine with the paper's charged cost accounting.
+    #[must_use]
+    pub fn charged(factor: &Graph, r: usize, cost: CostModel) -> Self {
+        assert!(pns_graph::is_connected(factor), "factor must be connected");
+        Machine {
+            shape: Shape::new(factor.n(), r),
+            factor_name: factor.name().to_owned(),
+            engine: EngineKind::Charged(ChargedEngine::new(cost)),
+        }
+    }
+
+    /// A machine that executes real comparator programs and real factor
+    /// routing, counting actual steps.
+    #[must_use]
+    pub fn executed(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) -> Self {
+        assert!(pns_graph::is_connected(factor), "factor must be connected");
+        let shape = Shape::new(factor.n(), r);
+        Machine {
+            shape,
+            factor_name: factor.name().to_owned(),
+            engine: EngineKind::Executed(ExecutedEngine::new(factor, shape, sorter)),
+        }
+    }
+
+    /// Relabel a factor graph along its best linear embedding (Hamiltonian
+    /// path if one exists, Sekanina ordering otherwise), as Section 2
+    /// recommends: with such labels, label-consecutive nodes are within
+    /// distance ≤ 3, which keeps executed sorting programs cheap.
+    #[must_use]
+    pub fn prepare_factor(factor: &Graph) -> Graph {
+        let emb = LinearEmbedding::best(factor);
+        // emb.order[i] is the node at linear position i; we want the node
+        // formerly known as emb.order[i] to get the new label i.
+        let mut perm = vec![0u32; factor.n()];
+        for (i, &v) in emb.order.iter().enumerate() {
+            perm[v as usize] = i as u32;
+        }
+        factor.relabeled(&perm)
+    }
+
+    /// The machine's shape.
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Steps one `PG_2` sort round costs on this machine.
+    #[must_use]
+    pub fn s2_steps(&self) -> u64 {
+        match &self.engine {
+            EngineKind::Charged(e) => e.cost().s2_steps,
+            EngineKind::Executed(e) => e.s2_steps(),
+        }
+    }
+
+    /// Sort `keys` (one per node, indexed by node rank).
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::WrongKeyCount`] if `keys.len() != N^r`.
+    pub fn sort<K>(&mut self, keys: Vec<K>) -> Result<SortReport<K>, SortError>
+    where
+        K: Ord + Clone + Send + Sync,
+    {
+        self.sort_impl(keys, false)
+    }
+
+    /// As [`Machine::sort`], additionally asserting the inter-stage
+    /// invariant (after stage `k`, every `k`-dimensional subgraph is
+    /// snake-sorted) — slower, for debugging and validation runs.
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::WrongKeyCount`] if `keys.len() != N^r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated (an implementation bug, never
+    /// bad input).
+    pub fn sort_checked<K>(&mut self, keys: Vec<K>) -> Result<SortReport<K>, SortError>
+    where
+        K: Ord + Clone + Send + Sync,
+    {
+        self.sort_impl(keys, true)
+    }
+
+    fn sort_impl<K>(&mut self, mut keys: Vec<K>, checked: bool) -> Result<SortReport<K>, SortError>
+    where
+        K: Ord + Clone + Send + Sync,
+    {
+        if keys.len() as u64 != self.shape.len() {
+            return Err(SortError::WrongKeyCount {
+                expected: self.shape.len(),
+                got: keys.len(),
+            });
+        }
+        let shape = self.shape;
+        let outcome = match (&mut self.engine, checked) {
+            (EngineKind::Charged(e), false) => network_sort(shape, &mut keys, e),
+            (EngineKind::Charged(e), true) => {
+                crate::verify::network_sort_checked(shape, &mut keys, e)
+            }
+            (EngineKind::Executed(e), false) => network_sort(shape, &mut keys, e),
+            (EngineKind::Executed(e), true) => {
+                crate::verify::network_sort_checked(shape, &mut keys, e)
+            }
+        };
+        Ok(SortReport {
+            shape: self.shape,
+            factor_name: self.factor_name.clone(),
+            keys,
+            outcome,
+        })
+    }
+}
+
+/// Result of a sort: the final key configuration and the measured costs.
+#[derive(Debug, Clone)]
+pub struct SortReport<K> {
+    shape: Shape,
+    factor_name: String,
+    /// Final keys, indexed by node rank.
+    pub keys: Vec<K>,
+    /// Unit counters and step totals.
+    pub outcome: NetSortOutcome,
+}
+
+impl<K: Ord + Clone> SortReport<K> {
+    /// `true` iff the configuration is sorted in snake order.
+    #[must_use]
+    pub fn is_snake_sorted(&self) -> bool {
+        is_snake_sorted(self.shape, &self.keys)
+    }
+
+    /// The sorted sequence (keys read in snake order).
+    #[must_use]
+    pub fn into_sorted_vec(self) -> Vec<K> {
+        read_snake_order(self.shape, &self.keys)
+    }
+
+    /// Total steps taken.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.outcome.steps
+    }
+
+    /// The shape sorted on.
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Name of the factor graph.
+    #[must_use]
+    pub fn factor_name(&self) -> &str {
+        &self.factor_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorters::{Hypercube2Sorter, OetSnakeSorter, ShearSorter};
+    use pns_graph::factories;
+
+    #[test]
+    fn charged_grid_machine_sorts_and_predicts() {
+        let factor = factories::path(4);
+        let model = CostModel::paper_grid(4);
+        let predicted = model.predicted_sort_steps(3);
+        let mut m = Machine::charged(&factor, 3, model);
+        let keys: Vec<u32> = (0..64).rev().collect();
+        let report = m.sort(keys).unwrap();
+        assert!(report.is_snake_sorted());
+        assert_eq!(report.steps(), predicted);
+        assert_eq!(report.into_sorted_vec(), (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn executed_hypercube_machine_matches_batcher_complexity() {
+        // N = 2, S2 = 3 (three-step PG_2 sorter), R = 1 (every transposition
+        // pair is a hypercube edge): total = 3(r-1)² + (r-1)(r-2).
+        for r in 2..=7usize {
+            let factor = factories::k2();
+            let mut m = Machine::executed(&factor, r, &Hypercube2Sorter);
+            let len = 1u64 << r;
+            let keys: Vec<u64> = (0..len).map(|x| (x * 2654435761) % 101).collect();
+            let report = m.sort(keys).unwrap();
+            assert!(report.is_snake_sorted(), "r={r}");
+            let rr = r as u64;
+            assert_eq!(
+                report.steps(),
+                3 * (rr - 1) * (rr - 1) + (rr - 1) * (rr - 2),
+                "r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn executed_grid_machine_obeys_theorem1_with_measured_s2() {
+        // Theorem 1 holds for any S2/R: with shearsort's fixed round count
+        // as S2 and R = 1 (path factor: all transpositions are edges),
+        // total = (r-1)²·S2 + (r-1)(r-2)·1.
+        let factor = factories::path(3);
+        for r in 2..=4usize {
+            let mut m = Machine::executed(&factor, r, &ShearSorter);
+            let s2 = m.s2_steps();
+            let len = 3u64.pow(r as u32);
+            let keys: Vec<u64> = (0..len).rev().collect();
+            let report = m.sort(keys).unwrap();
+            assert!(report.is_snake_sorted(), "r={r}");
+            let rr = r as u64;
+            assert_eq!(
+                report.steps(),
+                (rr - 1) * (rr - 1) * s2 + (rr - 1) * (rr - 2),
+                "r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn executed_machine_on_non_hamiltonian_tree_factor() {
+        // Complete binary tree (7 nodes), relabeled along its Sekanina
+        // order: comparator labels are within distance 3, everything
+        // routes; the sort must still be correct.
+        let factor = Machine::prepare_factor(&factories::complete_binary_tree(3));
+        let mut m = Machine::executed(&factor, 2, &OetSnakeSorter);
+        let keys: Vec<u32> = (0..49).map(|x| (x * 13) % 23).collect();
+        let report = m.sort(keys.clone()).unwrap();
+        assert!(report.is_snake_sorted());
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(report.into_sorted_vec(), expect);
+    }
+
+    #[test]
+    fn petersen_executed_machine_sorts() {
+        let factor = Machine::prepare_factor(&factories::petersen());
+        let mut m = Machine::executed(&factor, 2, &ShearSorter);
+        let keys: Vec<u32> = (0..100).rev().collect();
+        let report = m.sort(keys).unwrap();
+        assert!(report.is_snake_sorted());
+    }
+
+    #[test]
+    fn sort_checked_verifies_stage_invariants() {
+        let factor = factories::path(3);
+        let mut m = Machine::executed(&factor, 3, &ShearSorter);
+        let keys: Vec<u32> = (0..27).map(|x| (x * 7) % 11).collect();
+        let report = m.sort_checked(keys).unwrap();
+        assert!(report.is_snake_sorted());
+        assert_eq!(report.outcome.counters.s2_units, 4);
+    }
+
+    #[test]
+    fn wrong_key_count_is_an_error() {
+        let mut m = Machine::charged(&factories::path(3), 2, CostModel::paper_grid(3));
+        let err = m.sort(vec![1u32, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            SortError::WrongKeyCount {
+                expected: 9,
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains("expected 9 keys"));
+    }
+
+    #[test]
+    fn prepare_factor_gives_hamiltonian_labels_when_possible() {
+        let g = Machine::prepare_factor(&factories::petersen());
+        // After relabeling, consecutive labels are adjacent.
+        for v in 0..9u32 {
+            assert!(g.has_edge(v, v + 1), "labels {v},{} not adjacent", v + 1);
+        }
+    }
+}

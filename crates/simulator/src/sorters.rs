@@ -1,0 +1,327 @@
+//! Executable `PG_2` sorters as comparator programs.
+//!
+//! A *program* is a sequence of synchronous rounds; each round is a set of
+//! disjoint comparators `(p, q)` over forward-snake positions `0 … N²-1`
+//! with `p < q`: ascending execution leaves the minimum at `p`. Programs
+//! are *oblivious*, so the zero-one principle applies and small programs
+//! are verified exhaustively in tests.
+//!
+//! A comparator compares positions whose nodes differ in exactly one
+//! product dimension; the executed engine derives the factor-label pairs
+//! per round to decide whether the round is a single compare-exchange step
+//! (adjacent labels) or a routed exchange (non-adjacent labels — the
+//! Section 4 "permutation routing within G" case).
+
+use pns_order::snake::{snake2_rank, snake2_unrank};
+use pns_order::Direction;
+
+/// One synchronous round of disjoint comparators over snake positions.
+pub type Round = Vec<(u32, u32)>;
+
+/// An oblivious sorting program for the `N²` keys of a `PG_2` subgraph,
+/// sorting into forward snake order.
+pub trait Pg2Sorter {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// The comparator program for factor size `n`.
+    ///
+    /// Every comparator `(p, q)` must have `p < q`, each round's
+    /// comparators must be disjoint, and the two nodes at snake positions
+    /// `p` and `q` must differ in exactly one of the two product
+    /// coordinates (so the executed engine can realize or route it).
+    fn program(&self, n: usize) -> Vec<Round>;
+}
+
+/// Odd-even transposition sort along the snake sequence: `N²` rounds of
+/// alternating-parity adjacent comparators. Works on any factor whose
+/// labels follow a Hamiltonian path (then every comparator is an edge);
+/// simple, and the natural executable counterpart of the paper's
+/// linear-array reasoning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OetSnakeSorter;
+
+impl Pg2Sorter for OetSnakeSorter {
+    fn name(&self) -> &'static str {
+        "oet-snake"
+    }
+
+    fn program(&self, n: usize) -> Vec<Round> {
+        let len = (n * n) as u32;
+        (0..len)
+            .map(|round| {
+                let parity = round % 2;
+                (parity..len.saturating_sub(1))
+                    .step_by(2)
+                    .map(|p| (p, p + 1))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Shearsort on the `N×N` mesh, sorting into snake order:
+/// `⌈log₂ N⌉` iterations of (row phase, column phase) plus a final row
+/// phase, each phase an `N`-round odd-even transposition sort. Exactly
+/// `N·(2⌈log₂ N⌉ + 1)` rounds. Rows in snake-position space are
+/// consecutive blocks of `N` positions (the boustrophedon is already baked
+/// into snake ranks), columns connect equal `x_1` across adjacent `x_2`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShearSorter;
+
+impl ShearSorter {
+    fn row_phase(n: usize, out: &mut Vec<Round>) {
+        let n32 = n as u32;
+        for r in 0..n32 {
+            let parity = r % 2;
+            let mut round = Vec::new();
+            for row in 0..n32 {
+                let base = row * n32;
+                let mut j = parity;
+                while j + 1 < n32 {
+                    round.push((base + j, base + j + 1));
+                    j += 2;
+                }
+            }
+            out.push(round);
+        }
+    }
+
+    fn col_phase(n: usize, out: &mut Vec<Round>) {
+        let n32 = n as u32;
+        for r in 0..n32 {
+            let parity = r % 2;
+            let mut round = Vec::new();
+            for x1 in 0..n {
+                let mut x2 = parity as usize;
+                while x2 + 1 < n {
+                    let p = snake2_rank(n, x1, x2) as u32;
+                    let q = snake2_rank(n, x1, x2 + 1) as u32;
+                    round.push((p.min(q), p.max(q)));
+                    x2 += 2;
+                }
+            }
+            out.push(round);
+        }
+    }
+}
+
+impl Pg2Sorter for ShearSorter {
+    fn name(&self) -> &'static str {
+        "shearsort"
+    }
+
+    fn program(&self, n: usize) -> Vec<Round> {
+        let phases = usize::BITS - (n - 1).leading_zeros(); // ⌈log₂ n⌉
+        let mut out = Vec::new();
+        for _ in 0..phases.max(1) {
+            Self::row_phase(n, &mut out);
+            Self::col_phase(n, &mut out);
+        }
+        Self::row_phase(n, &mut out);
+        out
+    }
+}
+
+/// The 3-step snake sorter for the two-dimensional hypercube (`N = 2`,
+/// Section 5.3: "It is not hard to sort in snake order on the
+/// two-dimensional hypercube in three steps"). The 4-node `PG_2` of `K_2`
+/// is a 4-cycle; snake positions `0,1,2,3` sit at labels `00, 01, 11, 10`,
+/// and the three rounds use only cycle edges:
+/// dimension-1 pairs, dimension-2 pairs, dimension-1 pairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hypercube2Sorter;
+
+impl Pg2Sorter for Hypercube2Sorter {
+    fn name(&self) -> &'static str {
+        "hypercube-3step"
+    }
+
+    fn program(&self, n: usize) -> Vec<Round> {
+        assert_eq!(n, 2, "the 3-step sorter is specific to N = 2");
+        vec![
+            vec![(0, 1), (2, 3)], // labels (00,01) and (11,10): dim-1 edges
+            vec![(0, 3), (1, 2)], // labels (00,10) and (01,11): dim-2 edges
+            vec![(0, 1), (2, 3)],
+        ]
+    }
+}
+
+/// Apply a program to `keys` (indexed by snake position) in the given
+/// direction. Descending execution flips every comparator.
+pub fn run_program<K: Ord>(keys: &mut [K], program: &[Round], dir: Direction) {
+    for round in program {
+        for &(p, q) in round {
+            let (p, q) = (p as usize, q as usize);
+            let out_of_order = match dir {
+                Direction::Ascending => keys[p] > keys[q],
+                Direction::Descending => keys[p] < keys[q],
+            };
+            if out_of_order {
+                keys.swap(p, q);
+            }
+        }
+    }
+}
+
+/// Structural validation of a program: comparators ordered and in range,
+/// rounds disjoint, and each comparator's endpoints differ in exactly one
+/// of the two `PG_2` coordinates.
+///
+/// # Panics
+///
+/// Panics with a description of the first violation.
+pub fn validate_program(n: usize, program: &[Round]) {
+    let len = (n * n) as u32;
+    for (i, round) in program.iter().enumerate() {
+        let mut used = vec![false; len as usize];
+        for &(p, q) in round {
+            assert!(p < q, "round {i}: comparator ({p},{q}) not ordered");
+            assert!(q < len, "round {i}: position {q} out of range");
+            for v in [p, q] {
+                assert!(!used[v as usize], "round {i}: position {v} reused");
+                used[v as usize] = true;
+            }
+            let (a1, a2) = snake2_unrank(n, p as u64);
+            let (b1, b2) = snake2_unrank(n, q as u64);
+            let diffs = usize::from(a1 != b1) + usize::from(a2 != b2);
+            assert_eq!(
+                diffs, 1,
+                "round {i}: comparator ({p},{q}) spans both dimensions"
+            );
+        }
+    }
+}
+
+/// Exhaustive zero-one check that the program sorts (feasible for
+/// `N ≤ 4`, i.e. up to 2^16 inputs).
+#[must_use]
+pub fn program_sorts_all_zero_one(n: usize, program: &[Round]) -> bool {
+    let len = n * n;
+    assert!(len <= 20, "exhaustive check is for small N");
+    for mask in 0u32..(1 << len) {
+        let mut keys: Vec<u8> = (0..len).map(|i| ((mask >> i) & 1) as u8).collect();
+        run_program(&mut keys, program, Direction::Ascending);
+        if !keys.windows(2).all(|w| w[0] <= w[1]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oet_snake_is_valid_and_sorts() {
+        for n in 2..=4 {
+            let p = OetSnakeSorter.program(n);
+            assert_eq!(p.len(), n * n);
+            validate_program(n, &p);
+            assert!(program_sorts_all_zero_one(n, &p), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shearsort_is_valid_and_sorts() {
+        for n in 2..=4 {
+            let p = ShearSorter.program(n);
+            let phases = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+            assert_eq!(p.len(), n * (2 * phases.max(1) + 1));
+            validate_program(n, &p);
+            assert!(program_sorts_all_zero_one(n, &p), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shearsort_sorts_random_permutations_for_larger_n() {
+        // Beyond exhaustive range: permutations, checked against std sort.
+        for n in [5usize, 8, 9] {
+            let prog = ShearSorter.program(n);
+            validate_program(n, &prog);
+            let len = n * n;
+            let mut state: u64 = 0x9E3779B97F4A7C15;
+            for _ in 0..20 {
+                let mut keys: Vec<u64> = (0..len as u64)
+                    .map(|i| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
+                        state >> 33
+                    })
+                    .collect();
+                let mut expect = keys.clone();
+                expect.sort_unstable();
+                run_program(&mut keys, &prog, Direction::Ascending);
+                assert_eq!(keys, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_3step_sorts_exhaustively() {
+        let p = Hypercube2Sorter.program(2);
+        assert_eq!(p.len(), 3);
+        validate_program(2, &p);
+        assert!(program_sorts_all_zero_one(2, &p));
+        // Also over all 4! permutations.
+        let perms = [
+            [0, 1, 2, 3],
+            [0, 1, 3, 2],
+            [0, 2, 1, 3],
+            [0, 2, 3, 1],
+            [0, 3, 1, 2],
+            [0, 3, 2, 1],
+            [1, 0, 2, 3],
+            [1, 0, 3, 2],
+            [1, 2, 0, 3],
+            [1, 2, 3, 0],
+            [1, 3, 0, 2],
+            [1, 3, 2, 0],
+            [2, 0, 1, 3],
+            [2, 0, 3, 1],
+            [2, 1, 0, 3],
+            [2, 1, 3, 0],
+            [2, 3, 0, 1],
+            [2, 3, 1, 0],
+            [3, 0, 1, 2],
+            [3, 0, 2, 1],
+            [3, 1, 0, 2],
+            [3, 1, 2, 0],
+            [3, 2, 0, 1],
+            [3, 2, 1, 0],
+        ];
+        for perm in perms {
+            let mut keys = perm.to_vec();
+            run_program(&mut keys, &p, Direction::Ascending);
+            assert_eq!(keys, vec![0, 1, 2, 3], "input {perm:?}");
+        }
+    }
+
+    #[test]
+    fn descending_execution_reverses() {
+        let prog = ShearSorter.program(3);
+        let mut keys: Vec<u32> = vec![4, 7, 1, 0, 8, 3, 2, 6, 5];
+        run_program(&mut keys, &prog, Direction::Descending);
+        assert_eq!(keys, vec![8, 7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "specific to N = 2")]
+    fn hypercube_sorter_rejects_other_n() {
+        let _ = Hypercube2Sorter.program(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans both dimensions")]
+    fn validate_rejects_diagonal_comparators() {
+        // Positions 0 (0,0) and 3 (2,... for n=2: pos 3 is (0,1)? snake2:
+        // pos 3 = (x1=0, x2=1)… use n=3: pos 0=(0,0), pos 4=(1,1) diagonal.
+        validate_program(3, &[vec![(0, 4)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn validate_rejects_overlapping_comparators() {
+        validate_program(2, &[vec![(0, 1), (1, 2)]]);
+    }
+}

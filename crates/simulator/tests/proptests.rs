@@ -1,0 +1,112 @@
+//! Property-based tests for the simulator: machines on random factors
+//! and random inputs always sort, and the accounting never drifts.
+
+use pns_graph::factories;
+use pns_order::radix::Shape;
+use pns_simulator::netsort::{is_snake_sorted, network_sort, read_snake_order};
+use pns_simulator::{
+    compile, BspMachine, ChargedEngine, CostModel, ExecutedEngine, Machine, OetSnakeSorter,
+    ShearSorter,
+};
+use proptest::prelude::*;
+
+fn keys_for(len: u64, seed: u64, modulus: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 30) % modulus
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn charged_sort_is_correct_on_random_factors(
+        n in 3usize..8, r in 2usize..4, extra in 0usize..4,
+        seed in any::<u64>(), modulus in 1u64..1000,
+    ) {
+        prop_assume!((n as u64).pow(r as u32) <= 1024);
+        let _factor = factories::random_connected(n, extra, seed);
+        let shape = Shape::new(n, r);
+        let mut keys = keys_for(shape.len(), seed ^ 0xABCD, modulus);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let mut engine = ChargedEngine::new(CostModel::paper_universal(n));
+        let out = network_sort(shape, &mut keys, &mut engine);
+        prop_assert!(is_snake_sorted(shape, &keys));
+        prop_assert_eq!(read_snake_order(shape, &keys), expect);
+        // Theorem 1 units hold for any factor.
+        let rr = r as u64;
+        prop_assert_eq!(out.counters.s2_units, (rr - 1) * (rr - 1));
+        prop_assert_eq!(out.counters.route_units, (rr - 1) * (rr - 2));
+    }
+
+    #[test]
+    fn executed_sort_is_correct_on_relabeled_random_factors(
+        n in 3usize..7, seed in any::<u64>(), modulus in 1u64..100,
+    ) {
+        let factor = Machine::prepare_factor(&factories::random_connected(n, 2, seed));
+        let shape = Shape::new(n, 2);
+        let mut keys = keys_for(shape.len(), seed ^ 0x1234, modulus);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let mut engine = ExecutedEngine::new(&factor, shape, &OetSnakeSorter);
+        let _ = network_sort(shape, &mut keys, &mut engine);
+        prop_assert_eq!(read_snake_order(shape, &keys), expect);
+    }
+
+    #[test]
+    fn executed_steps_are_input_independent(
+        n in 3usize..6, seed_a in any::<u64>(), seed_b in any::<u64>(),
+    ) {
+        // Obliviousness: step totals cannot depend on the data.
+        let factor = factories::path(n);
+        let shape = Shape::new(n, 3);
+        let run = |seed: u64| {
+            let mut keys = keys_for(shape.len(), seed, 1000);
+            let mut engine = ExecutedEngine::new(&factor, shape, &ShearSorter);
+            network_sort(shape, &mut keys, &mut engine).steps
+        };
+        prop_assert_eq!(run(seed_a), run(seed_b));
+    }
+
+    #[test]
+    fn bsp_agrees_with_round_level_execution(
+        n in 3usize..6, seed in any::<u64>(), modulus in 1u64..50,
+    ) {
+        let factor = factories::path(n);
+        let r = 2;
+        let shape = Shape::new(n, r);
+        let keys = keys_for(shape.len(), seed, modulus);
+
+        let program = compile(&factor, r, &OetSnakeSorter);
+        let bsp = BspMachine::new(&factor, r);
+        let mut bsp_keys = keys.clone();
+        bsp.run(&mut bsp_keys, &program);
+
+        let mut engine = ExecutedEngine::new(&factor, shape, &OetSnakeSorter);
+        let mut net_keys = keys;
+        let _ = network_sort(shape, &mut net_keys, &mut engine);
+
+        prop_assert_eq!(bsp_keys, net_keys);
+    }
+
+    #[test]
+    fn charged_steps_follow_theorem1_for_random_costs(
+        s2 in 1u64..1000, route in 0u64..1000, r in 2usize..5,
+    ) {
+        let n = 3usize;
+        let shape = Shape::new(n, r);
+        let mut keys = keys_for(shape.len(), s2 ^ route, 100);
+        let mut engine = ChargedEngine::new(CostModel::custom("prop", s2, route));
+        let out = network_sort(shape, &mut keys, &mut engine);
+        let rr = r as u64;
+        prop_assert_eq!(
+            out.steps,
+            (rr - 1) * (rr - 1) * s2 + (rr - 1) * (rr - 2) * route
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Beyond one key per node: blocked deterministic sorting (merge-split)
+//! and the randomized sample sort of the paper's future-work section,
+//! head to head.
+//!
+//! ```text
+//! cargo run --example blocked_and_randomized
+//! ```
+
+use product_sort::graph::factories;
+use product_sort::order::radix::Shape;
+use product_sort::sim::block::block_sort;
+use product_sort::sim::{sample_sort, CostModel};
+
+fn main() {
+    let n = 8usize;
+    let factor = factories::path(n);
+    let model = CostModel::paper_grid(n);
+    println!("8×8×8 grid (512 nodes), b keys per node, charged steps:\n");
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>10}",
+        "b", "keys", "det (merge)", "sample sort", "det/sample"
+    );
+    for b in [4usize, 16, 64] {
+        let shape = Shape::new(n, 3);
+        let len = shape.len() as usize * b;
+        let keys: Vec<u64> = (0..len as u64)
+            .map(|x| x.wrapping_mul(6364136223846793005) >> 30)
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+
+        let (det_sorted, det) = block_sort(shape, b, keys.clone(), model.clone());
+        assert_eq!(det_sorted, expect);
+
+        let (rnd_sorted, rnd) = sample_sort(&factor, 3, b, keys, (b / 4).max(1), 7, &model);
+        assert_eq!(rnd_sorted, expect);
+
+        println!(
+            "{b:>6} {len:>8} {:>12} {:>14} {:>10.2}",
+            det.steps,
+            rnd.total(),
+            det.steps as f64 / rnd.total() as f64
+        );
+    }
+    println!("\nThe deterministic algorithm carries Theorem 1's (r-1)² factor into");
+    println!("the blocked regime; sample sort routes keys once per dimension, so");
+    println!("it pulls ahead as r and b grow — the paper's §6 conjecture, confirmed");
+    println!("for the blocked regime (see experiment e15_randomized).");
+}

@@ -1,0 +1,46 @@
+//! §5.3 in action: the generalized algorithm on the hypercube vs
+//! Batcher's bitonic sort — same `O(r²)` step growth.
+//!
+//! ```text
+//! cargo run --example hypercube_vs_batcher
+//! ```
+//!
+//! For each dimension `r`, sorts `2^r` random keys on the executed
+//! simulator (the three-step `PG_2` sorter of §5.3; every transposition is
+//! a hypercube edge) and prints the measured steps next to the closed form
+//! `3(r-1)² + (r-1)(r-2)` and Batcher's depth `r(r+1)/2`.
+
+use product_sort::baselines::bitonic::bitonic_hypercube_steps;
+use product_sort::graph::factories;
+use product_sort::sim::{Hypercube2Sorter, Machine};
+
+fn main() {
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>14}",
+        "r", "keys", "ours(meas)", "ours(pred)", "batcher depth"
+    );
+    for r in 2..=10usize {
+        let factor = factories::k2();
+        let mut machine = Machine::executed(&factor, r, &Hypercube2Sorter);
+        let len = 1u64 << r;
+        // A fixed pseudo-random permutation.
+        let keys: Vec<u64> = (0..len).map(|x| (x * 2654435761) % len).collect();
+        let report = machine.sort(keys).expect("2^r keys");
+        assert!(report.is_snake_sorted());
+
+        let rr = r as u64;
+        let predicted = 3 * (rr - 1) * (rr - 1) + (rr - 1) * (rr - 2);
+        println!(
+            "{r:>3} {len:>8} {:>12} {predicted:>12} {:>14}",
+            report.steps(),
+            bitonic_hypercube_steps(r),
+        );
+        assert_eq!(
+            report.steps(),
+            predicted,
+            "measured steps match §5.3's closed form"
+        );
+    }
+    println!("\nBoth columns grow as Θ(r²): the generality of the multiway-merge");
+    println!("algorithm costs only a constant factor on the hypercube (§5.3).");
+}

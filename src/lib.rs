@@ -1,0 +1,47 @@
+//! # product-sort
+//!
+//! Umbrella crate for the reproduction of Fernández & Efe, *Generalized
+//! Algorithm for Parallel Sorting on Product Networks* (ICPP'95 / IEEE TPDS
+//! 1997).
+//!
+//! The workspace implements the paper's generalized multiway-merge sorting
+//! algorithm for arbitrary homogeneous product networks, a cycle-accurate
+//! synchronous network simulator that executes it, the baselines the paper
+//! compares against, and an experiment harness that regenerates every
+//! closed-form result of the paper.
+//!
+//! Re-exports, from the bottom of the stack up:
+//!
+//! * [`graph`] — factor graphs `G`: constructors, traversal, Hamiltonian
+//!   paths, dilation-3 linear embeddings, permutation routing.
+//! * [`order`] — N-ary Gray codes, snake order, group sequences.
+//! * [`product`] — the product network `PG_r` itself.
+//! * [`algo`] — the sequence-level multiway-merge sorting algorithm
+//!   (Section 3 of the paper), fully instrumented.
+//! * [`sim`] — the network-level implementation (Section 4): charged and
+//!   executed cost models, pluggable `PG_2` sorters.
+//! * [`baselines`] — Batcher odd-even merge and bitonic networks,
+//!   Columnsort, shearsort, odd-even transposition, Stone's
+//!   shuffle-exchange bitonic sort.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use product_sort::graph::factories;
+//! use product_sort::sim::{Machine, CostModel};
+//!
+//! // Sort 3^3 = 27 keys on the 3-dimensional product of a 3-node path.
+//! let factor = factories::path(3);
+//! let mut machine = Machine::charged(&factor, 3, CostModel::paper_grid(3));
+//! let keys: Vec<u32> = (0..27).rev().collect();
+//! let report = machine.sort(keys).expect("sorting succeeds");
+//! assert!(report.is_snake_sorted());
+//! assert_eq!(report.into_sorted_vec(), (0..27).collect::<Vec<u32>>());
+//! ```
+
+pub use pns_baselines as baselines;
+pub use pns_core as algo;
+pub use pns_graph as graph;
+pub use pns_order as order;
+pub use pns_product as product;
+pub use pns_simulator as sim;

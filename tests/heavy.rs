@@ -1,0 +1,80 @@
+//! Heavy validation sweeps, ignored by default. Run with:
+//!
+//! ```text
+//! cargo test --release --test heavy -- --ignored
+//! ```
+
+use product_sort::algo::zero_one::exhaustive_merge_check;
+use product_sort::algo::StdBaseSorter;
+use product_sort::graph::factories;
+use product_sort::order::radix::Shape;
+use product_sort::sim::block::block_sort;
+use product_sort::sim::bsp::{compile, BspMachine};
+use product_sort::sim::netsort::is_snake_sorted;
+use product_sort::sim::{sample_sort, CostModel, Hypercube2Sorter, Machine, ShearSorter};
+
+#[test]
+#[ignore = "release-mode sweep: 11.8M merge instances"]
+fn merge_zero_one_5_way() {
+    // 26^5 = 11,881,376 zero-one inputs of the 5-way merge.
+    assert_eq!(exhaustive_merge_check(5, 25, &StdBaseSorter), 11_881_376);
+}
+
+#[test]
+#[ignore = "release-mode sweep: 65,536 BSP executions"]
+fn bsp_hypercube_4_zero_one_exhaustive() {
+    let factor = factories::k2();
+    let program = compile(&factor, 4, &Hypercube2Sorter);
+    let machine = BspMachine::new(&factor, 4);
+    for mask in 0u32..(1 << 16) {
+        let mut keys: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+        machine.run(&mut keys, &program);
+        assert!(is_snake_sorted(machine.shape(), &keys), "mask={mask:#x}");
+    }
+}
+
+#[test]
+#[ignore = "release-mode sweep: large executed machines"]
+fn executed_machines_at_scale() {
+    // 16^3 = 4096 nodes with shearsort actually running in every PG_2.
+    let factor = factories::path(16);
+    let mut m = Machine::executed(&factor, 3, &ShearSorter);
+    let keys: Vec<u64> = (0..4096u64).map(|x| x.wrapping_mul(0x9E3779B97F4A7C15) >> 30).collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let report = m.sort(keys).expect("4096 keys");
+    assert!(report.is_snake_sorted());
+    assert_eq!(report.into_sorted_vec(), expect);
+}
+
+#[test]
+#[ignore = "release-mode sweep: million-key blocked sorts"]
+fn blocked_sort_at_scale() {
+    let shape = Shape::new(8, 3); // 512 nodes
+    let b = 2048; // ~1M keys
+    let keys: Vec<u64> = (0..shape.len() * b as u64)
+        .map(|x| x.wrapping_mul(6364136223846793005) >> 20)
+        .collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let (sorted, outcome) = block_sort(shape, b, keys, CostModel::paper_grid(8));
+    assert_eq!(sorted, expect);
+    assert_eq!(outcome.counters.s2_units, 4); // (r-1)² for r = 3
+}
+
+#[test]
+#[ignore = "release-mode sweep: million-key sample sorts"]
+fn sample_sort_at_scale() {
+    let factor = factories::path(8);
+    let b = 2048;
+    let p = 512;
+    let keys: Vec<u64> = (0..(p * b) as u64)
+        .map(|x| x.wrapping_mul(2862933555777941757) >> 20)
+        .collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let (sorted, outcome) =
+        sample_sort(&factor, 3, b, keys, 64, 5, &CostModel::paper_grid(8));
+    assert_eq!(sorted, expect);
+    assert!(outcome.max_load >= b);
+}

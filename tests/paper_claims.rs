@@ -1,0 +1,114 @@
+//! One test per analytical claim of the paper, plus a sweep that runs
+//! every experiment of the index and requires every row to match.
+
+use product_sort::graph::factories;
+use product_sort::order::radix::Shape;
+use product_sort::sim::{network_sort, ChargedEngine, CostModel};
+
+fn charged_steps(n: usize, r: usize, model: CostModel) -> u64 {
+    let shape = Shape::new(n, r);
+    let mut keys: Vec<u64> = (0..shape.len()).rev().collect();
+    let mut engine = ChargedEngine::new(model);
+    let out = network_sort(shape, &mut keys, &mut engine);
+    assert!(product_sort::sim::netsort::is_snake_sorted(shape, &keys));
+    out.steps
+}
+
+/// Theorem 1: `S_r(N) = (r-1)² S2 + (r-1)(r-2) R` for arbitrary S2, R.
+#[test]
+fn theorem_1_closed_form() {
+    for (s2, route) in [(1u64, 1u64), (13, 5), (48, 15)] {
+        for (n, r) in [(3usize, 3usize), (3, 4), (4, 3), (2, 6)] {
+            let steps = charged_steps(n, r, CostModel::custom("t", s2, route));
+            let rr = r as u64;
+            assert_eq!(
+                steps,
+                (rr - 1) * (rr - 1) * s2 + (rr - 1) * (rr - 2) * route,
+                "n={n} r={r} s2={s2} R={route}"
+            );
+        }
+    }
+}
+
+/// §5.1: grid, `S2 = 3N`, `R = N-1` ⇒ steps ≤ `4(r-1)²N` and `O(N)` for
+/// fixed `r` (doubling N doubles the steps, up to the routing slack).
+#[test]
+fn section_5_1_grid() {
+    for (n, r) in [(4usize, 3usize), (8, 3), (16, 3), (8, 4)] {
+        let steps = charged_steps(n, r, CostModel::paper_grid(n));
+        let rr = (r - 1) as u64;
+        assert!(steps <= 4 * rr * rr * n as u64, "n={n} r={r}: {steps}");
+    }
+    let s8 = charged_steps(8, 3, CostModel::paper_grid(8));
+    let s16 = charged_steps(16, 3, CostModel::paper_grid(16));
+    assert!(s16 < 2 * s8 + 20, "fixed-r growth must be linear in N");
+}
+
+/// §5.3: hypercube, `3(r-1)² + (r-1)(r-2)` exactly.
+#[test]
+fn section_5_3_hypercube() {
+    for r in 2..=10usize {
+        let steps = charged_steps(2, r, CostModel::paper_hypercube());
+        let rr = r as u64;
+        assert_eq!(
+            steps,
+            3 * (rr - 1) * (rr - 1) + (rr - 1) * (rr - 2),
+            "r={r}"
+        );
+    }
+}
+
+/// §5.4: Petersen cube, `O(r²)` with the grid-subgraph constant.
+#[test]
+fn section_5_4_petersen() {
+    let s2 = charged_steps(10, 2, CostModel::paper_petersen());
+    let s3 = charged_steps(10, 3, CostModel::paper_petersen());
+    assert_eq!(s2, 30); // (r-1)² · 30 for r = 2
+    assert_eq!(s3, 4 * 30 + 2 * 9); // r = 3
+}
+
+/// Corollary: any connected factor ≤ `18(r-1)²N` under the universal
+/// (torus-emulation) model.
+#[test]
+fn corollary_universal_bound() {
+    for factor in [
+        factories::star(5),
+        factories::complete_binary_tree(3),
+        factories::random_connected(9, 2, 1),
+    ] {
+        let n = factor.n();
+        for r in [2usize, 3] {
+            let steps = charged_steps(n, r, CostModel::paper_universal(n));
+            let rr = (r - 1) as u64;
+            assert!(steps <= 18 * rr * rr * n as u64, "{factor:?} r={r}");
+        }
+    }
+}
+
+/// §5.5: de Bruijn products, `O(r² log² N)`: the normalized constant is
+/// flat across `N` for fixed `r`.
+#[test]
+fn section_5_5_de_bruijn_scaling() {
+    let norm = |b: usize, r: usize| {
+        let steps = charged_steps(1 << b, r, CostModel::paper_de_bruijn(b));
+        let rr = (r - 1) as u64;
+        steps as f64 / (rr * rr * (b * b) as u64) as f64
+    };
+    let a = norm(2, 2);
+    let b = norm(3, 2);
+    let c = norm(4, 2);
+    assert!(
+        (a - c).abs() / a < 0.35,
+        "normalized constants {a:.2} {b:.2} {c:.2}"
+    );
+}
+
+/// The whole experiment index: every report row must match its paper
+/// prediction.
+#[test]
+fn all_experiments_match() {
+    for (id, run) in pns_bench::all_experiments() {
+        let report = run();
+        assert!(report.all_match, "{id} mismatch:\n{}", report.to_markdown());
+    }
+}

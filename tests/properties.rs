@@ -1,0 +1,230 @@
+//! Property-based tests (proptest) over the whole stack: order
+//! bijections, merge/sort correctness on arbitrary keys, Lemma 1 on
+//! sampled inputs beyond the exhaustive range, and baseline equivalence.
+
+use product_sort::algo::dirty::dirty_window;
+use product_sort::algo::merge::{multiway_merge, steps_1_to_3, StdBaseSorter};
+use product_sort::algo::zero_one::zero_one_inputs;
+use product_sort::algo::{multiway_merge_sort, Counters};
+use product_sort::baselines::columnsort;
+use product_sort::baselines::stone::stone_sort;
+use product_sort::graph::factories;
+use product_sort::order::radix::Shape;
+use product_sort::order::snake::{node_at_snake_pos, snake_pos_of_node};
+use product_sort::order::{gray_rank, gray_unrank};
+use product_sort::sim::netsort::{is_snake_sorted, network_sort};
+use product_sort::sim::{ChargedEngine, CostModel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gray_rank_unrank_roundtrip(n in 2usize..8, r in 1usize..6, seed in any::<u64>()) {
+        let total = (n as u64).pow(r as u32);
+        let m = seed % total;
+        let digits = gray_unrank(n, r, m);
+        prop_assert_eq!(gray_rank(n, &digits), m);
+    }
+
+    #[test]
+    fn snake_bijection(n in 2usize..8, r in 1usize..6, seed in any::<u64>()) {
+        let shape = Shape::new(n, r);
+        let pos = seed % shape.len();
+        let node = node_at_snake_pos(shape, pos);
+        prop_assert!(node < shape.len());
+        prop_assert_eq!(snake_pos_of_node(shape, node), pos);
+    }
+
+    #[test]
+    fn snake_neighbors_are_label_adjacent(n in 2usize..6, r in 1usize..5, seed in any::<u64>()) {
+        let shape = Shape::new(n, r);
+        let pos = seed % (shape.len() - 1);
+        let a = node_at_snake_pos(shape, pos);
+        let b = node_at_snake_pos(shape, pos + 1);
+        // Exactly one digit differs, by exactly one.
+        let mut diffs = 0;
+        for i in 0..r {
+            let (da, db) = (shape.digit(a, i), shape.digit(b, i));
+            if da != db {
+                diffs += 1;
+                prop_assert_eq!(da.abs_diff(db), 1);
+            }
+        }
+        prop_assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn merge_equals_std_sort(
+        n in 2usize..5,
+        k in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let m = n.pow(k as u32 - 1);
+        let mut state = seed;
+        let inputs: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let mut v: Vec<u32> = (0..m)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 40) as u32 % 50
+                    })
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut counters = Counters::new();
+        let merged = multiway_merge(&inputs, &StdBaseSorter, &mut counters);
+        let mut expect: Vec<u32> = inputs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(merged, expect);
+        // Lemma 3 units.
+        prop_assert_eq!(counters.s2_units, 2 * (k as u64 - 2) + 1);
+        prop_assert_eq!(counters.route_units, 2 * (k as u64 - 2));
+    }
+
+    #[test]
+    fn full_sort_equals_std_sort(
+        n in 2usize..5,
+        r in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let len = n.pow(r as u32);
+        prop_assume!(len <= 1024);
+        let mut state = seed;
+        let keys: Vec<u32> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as u32 % 97
+            })
+            .collect();
+        let (sorted, counters) = multiway_merge_sort(&keys, n, &StdBaseSorter);
+        let mut expect = keys;
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+        let rr = r as u64;
+        prop_assert_eq!(counters.s2_units, (rr - 1) * (rr - 1));
+        prop_assert_eq!(counters.route_units, (rr - 1) * (rr - 2));
+    }
+
+    /// Lemma 1 sampled beyond the exhaustive range: N up to 8, m = N³.
+    #[test]
+    fn dirty_window_bound_sampled(n in 2usize..8, seed in any::<u64>()) {
+        let m = n * n * n;
+        let mut state = seed;
+        let counts: Vec<usize> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize % (m + 1)
+            })
+            .collect();
+        let inputs = zero_one_inputs(&counts, m);
+        let mut c = Counters::new();
+        let d = steps_1_to_3(&inputs, &StdBaseSorter, &mut c);
+        prop_assert!(dirty_window(&d) <= n * n);
+    }
+
+    #[test]
+    fn network_sort_arbitrary_duplicates(
+        n in 2usize..5,
+        r in 2usize..4,
+        modulus in 1u64..20,
+        seed in any::<u64>(),
+    ) {
+        let shape = Shape::new(n, r);
+        prop_assume!(shape.len() <= 512);
+        let mut state = seed;
+        let mut keys: Vec<u64> = (0..shape.len())
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 30) % modulus
+            })
+            .collect();
+        let mut engine = ChargedEngine::new(CostModel::custom("unit", 1, 1));
+        let _ = network_sort(shape, &mut keys, &mut engine);
+        prop_assert!(is_snake_sorted(shape, &keys));
+    }
+
+    #[test]
+    fn columnsort_equals_std_sort(cols in 2usize..5, mult in 1usize..4, seed in any::<u64>()) {
+        let rows = (2 * (cols - 1) * (cols - 1)).next_multiple_of(cols) * mult;
+        prop_assume!(rows >= 2);
+        let len = rows * cols;
+        let mut state = seed;
+        let keys: Vec<u32> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as u32 % 1000
+            })
+            .collect();
+        let (sorted, _) = columnsort(&keys, rows, cols);
+        let mut expect = keys;
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn stone_sort_equals_std_sort(k in 1usize..9, seed in any::<u64>()) {
+        let len = 1usize << k;
+        let mut state = seed;
+        let mut keys: Vec<u16> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 48) as u16 % 300
+            })
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let _ = stone_sort(&mut keys);
+        prop_assert_eq!(keys, expect);
+    }
+
+    /// Differential check: the multiway merge must agree with an
+    /// independent k-way heap merge (not just with std sort).
+    #[test]
+    fn merge_agrees_with_heap_merge(n in 2usize..5, k in 2usize..4, seed in any::<u64>()) {
+        let m = n.pow(k as u32 - 1);
+        let mut state = seed | 1;
+        let inputs: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let mut v: Vec<u32> = (0..m)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 40) as u32 % 60
+                    })
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        // Independent implementation: k-way merge via BinaryHeap.
+        let heap_merged = {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(u, a)| Reverse((a[0], u, 0)))
+                .collect();
+            let mut out = Vec::with_capacity(n * m);
+            while let Some(Reverse((key, u, i))) = heap.pop() {
+                out.push(key);
+                if i + 1 < m {
+                    heap.push(Reverse((inputs[u][i + 1], u, i + 1)));
+                }
+            }
+            out
+        };
+        let mut counters = product_sort::algo::Counters::new();
+        let merged = multiway_merge(&inputs, &StdBaseSorter, &mut counters);
+        prop_assert_eq!(merged, heap_merged);
+    }
+
+    /// The torus embedding of random connected factors keeps its bounds.
+    #[test]
+    fn torus_embedding_bounds(nodes in 4usize..14, extra in 0usize..5, seed in any::<u64>()) {
+        let g = factories::random_connected(nodes, extra, seed);
+        let emb = product_sort::product::torus_embedding(&g, 2);
+        prop_assert!(emb.dilation <= 3);
+        prop_assert!(emb.slowdown() <= 6);
+    }
+}

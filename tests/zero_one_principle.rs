@@ -1,0 +1,87 @@
+//! Zero-one-principle validation at every level of the stack.
+//!
+//! The algorithms are oblivious (fixed data movements, data-dependent
+//! behaviour only inside compare-exchanges and correct-by-contract base
+//! sorters), so exhaustively sorting all 0/1 inputs proves correctness
+//! for all inputs (Knuth, the paper's Lemma 1/2 tool).
+
+use product_sort::algo::zero_one::exhaustive_merge_check;
+use product_sort::algo::StdBaseSorter;
+use product_sort::graph::factories;
+use product_sort::order::radix::Shape;
+use product_sort::sim::netsort::{is_snake_sorted, network_sort, read_snake_order};
+use product_sort::sim::{ChargedEngine, CostModel, ExecutedEngine, Hypercube2Sorter, ShearSorter};
+
+#[test]
+fn sequence_merge_all_zero_one_inputs() {
+    // Input space of a merge = one zero count per sorted input sequence.
+    assert_eq!(exhaustive_merge_check(2, 8, &StdBaseSorter), 81);
+    assert_eq!(exhaustive_merge_check(2, 32, &StdBaseSorter), 1089);
+    assert_eq!(exhaustive_merge_check(3, 9, &StdBaseSorter), 1000);
+    assert_eq!(exhaustive_merge_check(3, 27, &StdBaseSorter), 21_952);
+    assert_eq!(exhaustive_merge_check(4, 16, &StdBaseSorter), 83_521);
+}
+
+fn exhaustive_network_zero_one<F>(n: usize, r: usize, mut sort: F)
+where
+    F: FnMut(&mut [u8]) -> bool,
+{
+    let shape = Shape::new(n, r);
+    let len = shape.len() as usize;
+    assert!(len <= 20, "exhaustive space too large");
+    for mask in 0u32..(1u32 << len) {
+        let mut keys: Vec<u8> = (0..len).map(|i| ((mask >> i) & 1) as u8).collect();
+        assert!(sort(&mut keys), "n={n} r={r} mask={mask:#x}");
+    }
+}
+
+#[test]
+fn charged_network_sort_all_zero_one_inputs() {
+    for (n, r) in [(2usize, 2usize), (2, 3), (2, 4), (3, 2), (4, 2)] {
+        let shape = Shape::new(n, r);
+        let mut engine = ChargedEngine::new(CostModel::custom("unit", 1, 1));
+        exhaustive_network_zero_one(n, r, |keys| {
+            let _ = network_sort(shape, keys, &mut engine);
+            is_snake_sorted(shape, keys)
+        });
+    }
+}
+
+#[test]
+fn executed_hypercube_sort_all_zero_one_inputs() {
+    // 2^16 inputs on the 4-cube with the real three-step PG_2 sorter.
+    let factor = factories::k2();
+    let shape = Shape::new(2, 4);
+    let mut engine = ExecutedEngine::new(&factor, shape, &Hypercube2Sorter);
+    exhaustive_network_zero_one(2, 4, |keys| {
+        let _ = network_sort(shape, keys, &mut engine);
+        is_snake_sorted(shape, keys)
+    });
+}
+
+#[test]
+fn executed_grid_sort_all_zero_one_inputs() {
+    // 2^16 inputs on the 4×4 grid with shearsort actually running.
+    let factor = factories::path(4);
+    let shape = Shape::new(4, 2);
+    let mut engine = ExecutedEngine::new(&factor, shape, &ShearSorter);
+    exhaustive_network_zero_one(4, 2, |keys| {
+        let _ = network_sort(shape, keys, &mut engine);
+        is_snake_sorted(shape, keys)
+    });
+}
+
+#[test]
+fn zero_one_outputs_have_the_right_zero_count() {
+    // Beyond sortedness: the multiset must be preserved.
+    let shape = Shape::new(3, 2);
+    for mask in 0u32..(1 << 9) {
+        let mut keys: Vec<u8> = (0..9).map(|i| ((mask >> i) & 1) as u8).collect();
+        let zeros = keys.iter().filter(|&&k| k == 0).count();
+        let mut engine = ChargedEngine::new(CostModel::custom("unit", 1, 1));
+        let _ = network_sort(shape, &mut keys, &mut engine);
+        let seq = read_snake_order(shape, &keys);
+        assert!(seq[..zeros].iter().all(|&k| k == 0), "mask={mask:#x}");
+        assert!(seq[zeros..].iter().all(|&k| k == 1), "mask={mask:#x}");
+    }
+}
