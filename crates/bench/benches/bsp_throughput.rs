@@ -1,0 +1,93 @@
+//! Wall-clock benches for the batched BSP executor (E16): serial vs
+//! parallel single-vector execution, batched throughput as the batch
+//! grows, compile-from-scratch vs program-cache hit, and the optimized
+//! program against the raw compile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pns_graph::factories;
+use pns_simulator::bsp::BspMachine;
+use pns_simulator::{compile, Hypercube2Sorter, Machine, ProgramCache, ShearSorter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_keys(len: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(0..1_000_000)).collect()
+}
+
+fn bench_single_vector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp_single");
+    let factor = factories::k2();
+    let r = 10; // 1024 nodes: past PAR_THRESHOLD, rounds go parallel.
+    let bsp = BspMachine::new(&factor, r);
+    let program = compile(&factor, r, &Hypercube2Sorter);
+    let optimized = program.optimized();
+    let keys = random_keys(1 << r, 7);
+    group.bench_function("serial_run", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            bsp.run(&mut k, black_box(&program));
+            black_box(k)
+        });
+    });
+    group.bench_function("parallel_run", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            bsp.run_parallel(&mut k, black_box(&program));
+            black_box(k)
+        });
+    });
+    group.bench_function("parallel_run_optimized", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            bsp.run_parallel(&mut k, black_box(&optimized));
+            black_box(k)
+        });
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp_batch");
+    let factor = Machine::prepare_factor(&factories::petersen());
+    let r = 2; // 100 nodes per vector.
+    let bsp = BspMachine::new(&factor, r);
+    let program = compile(&factor, r, &ShearSorter);
+    let len = 100u64;
+    for batch_size in [1usize, 4, 16, 64] {
+        let batch: Vec<Vec<u64>> = (0..batch_size as u64)
+            .map(|s| random_keys(len, 11 + s))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("run_batch", batch_size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut batch = batch.clone();
+                    black_box(bsp.run_batch(&mut batch, &program));
+                    black_box(batch)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program_cache");
+    let factor = factories::k2();
+    let r = 8;
+    group.bench_function("compile_cold", |b| {
+        b.iter(|| black_box(compile(&factor, r, &Hypercube2Sorter)));
+    });
+    let cache = ProgramCache::new();
+    let _warm = cache.get_or_compile(&factor, r, &Hypercube2Sorter);
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(cache.get_or_compile(&factor, r, &Hypercube2Sorter)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_vector, bench_batched, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e16_throughput report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::e16_throughput::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

@@ -71,6 +71,45 @@ pub enum Op {
 /// per direction) is validated at execution.
 pub type BspRound = Vec<Op>;
 
+/// Compile-time statistics for a program: size before and after the
+/// optimizer ran, plus what each pass removed. For a freshly compiled
+/// (unoptimized) program the before/after numbers coincide and the pass
+/// counters are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ProgramStats {
+    /// Rounds before optimization.
+    pub rounds_before: u64,
+    /// Operations before optimization.
+    pub ops_before: u64,
+    /// Rounds after optimization.
+    pub rounds_after: u64,
+    /// Operations after optimization.
+    pub ops_after: u64,
+    /// Rounds dropped because they contained no operations (empty
+    /// parity classes of odd-even transposition rounds, or rounds
+    /// emptied by compare-exchange elimination).
+    pub empty_rounds_elided: u64,
+    /// Compare-exchanges dropped because an identical exchange already
+    /// ordered the same pair and nothing touched either key since.
+    pub compare_exchanges_elided: u64,
+    /// Adjacent rounds merged because their resource footprints
+    /// (keys, transit slots, directed edges) are disjoint.
+    pub rounds_fused: u64,
+}
+
+impl ProgramStats {
+    /// Stats for an unoptimized program of the given size.
+    fn identity(rounds: u64, ops: u64) -> Self {
+        ProgramStats {
+            rounds_before: rounds,
+            ops_before: ops,
+            rounds_after: rounds,
+            ops_after: ops,
+            ..ProgramStats::default()
+        }
+    }
+}
+
 /// A compiled, input-independent schedule for one sort. Serializable, so
 /// a schedule can be compiled once and shipped to the machine that runs
 /// it (the machine re-validates every operation anyway).
@@ -78,9 +117,23 @@ pub type BspRound = Vec<Op>;
 pub struct CompiledProgram {
     shape: Shape,
     rounds: Vec<BspRound>,
+    stats: ProgramStats,
 }
 
 impl CompiledProgram {
+    /// Build a program directly from rounds (for hand-written or
+    /// deserialized schedules; the machine validates every operation).
+    #[must_use]
+    pub fn from_rounds(shape: Shape, rounds: Vec<BspRound>) -> Self {
+        let ops = rounds.iter().map(Vec::len).sum::<usize>() as u64;
+        let stats = ProgramStats::identity(rounds.len() as u64, ops);
+        CompiledProgram {
+            shape,
+            rounds,
+            stats,
+        }
+    }
+
     /// Number of synchronous rounds.
     #[must_use]
     pub fn rounds(&self) -> usize {
@@ -104,6 +157,171 @@ impl CompiledProgram {
     pub fn shape(&self) -> Shape {
         self.shape
     }
+
+    /// Optimizer statistics (identity for unoptimized programs).
+    #[must_use]
+    pub fn stats(&self) -> ProgramStats {
+        self.stats
+    }
+
+    /// Optimize the op stream. Three passes, all semantics-preserving
+    /// for every input (the sort is oblivious, so this is provable from
+    /// the schedule alone):
+    ///
+    /// 1. **Idempotent compare-exchange elimination** — a compare
+    ///    identical to one already applied, with neither resident key
+    ///    touched since, can never swap again and is dropped.
+    /// 2. **Empty-round elision** — rounds with no operations (pushed
+    ///    by [`compile`] for empty transposition parity classes to
+    ///    mirror the executed engine's accounting) are removed.
+    /// 3. **Round fusion** — an adjacent pair of rounds whose resource
+    ///    footprints are disjoint (resident keys read *or* written,
+    ///    transit slots taken *or* written, directed edges) merges into
+    ///    one synchronous round; this chains, so runs of disjoint
+    ///    rounds (e.g. relay move chains of independent waves)
+    ///    agglomerate.
+    ///
+    /// The result generally has **fewer rounds than the executed
+    /// engine's step count**, so [`compile`] does not optimize by
+    /// default; opt in where raw round counts are not being compared.
+    #[must_use]
+    pub fn optimized(&self) -> CompiledProgram {
+        let mut stats = ProgramStats::identity(self.rounds.len() as u64, self.op_count() as u64);
+        let mut rounds = self.rounds.clone();
+        eliminate_idempotent_cx(&mut rounds, &mut stats);
+        rounds.retain(|round| {
+            let keep = !round.is_empty();
+            if !keep {
+                stats.empty_rounds_elided += 1;
+            }
+            keep
+        });
+        let rounds = fuse_disjoint_rounds(rounds, &mut stats);
+        stats.rounds_after = rounds.len() as u64;
+        stats.ops_after = rounds.iter().map(Vec::len).sum::<usize>() as u64;
+        CompiledProgram {
+            shape: self.shape,
+            rounds,
+            stats,
+        }
+    }
+}
+
+/// Drop compare-exchanges that re-order an already-ordered pair.
+///
+/// Walks the op stream in execution order tracking, per node, the fact
+/// "this node's key and its partner's key are ordered by a previous
+/// exchange". The fact dies as soon as either key is written again (a
+/// different compare-exchange or a resolve); moves only *read* keys and
+/// preserve it.
+fn eliminate_idempotent_cx(rounds: &mut [BspRound], stats: &mut ProgramStats) {
+    // node -> (partner, min_to_self): invariant fact[a] = (b, m) iff
+    // fact[b] = (a, !m).
+    let mut fact: HashMap<u64, (u64, bool)> = HashMap::new();
+    for round in rounds.iter_mut() {
+        round.retain(|op| match *op {
+            Op::CompareExchange { a, b, min_to_a } => {
+                if fact.get(&a) == Some(&(b, min_to_a)) {
+                    stats.compare_exchanges_elided += 1;
+                    false
+                } else {
+                    for x in [a, b] {
+                        if let Some((p, _)) = fact.remove(&x) {
+                            fact.remove(&p);
+                        }
+                    }
+                    fact.insert(a, (b, min_to_a));
+                    fact.insert(b, (a, !min_to_a));
+                    true
+                }
+            }
+            Op::Resolve { node, .. } => {
+                if let Some((p, _)) = fact.remove(&node) {
+                    fact.remove(&p);
+                }
+                true
+            }
+            Op::Move { .. } => true,
+        });
+    }
+}
+
+/// Resource footprint of a round, for fusion safety: resident keys
+/// (read or written), transit slots (taken or written), directed edges.
+#[derive(Default)]
+struct RoundResources {
+    keys: std::collections::HashSet<u64>,
+    slots: std::collections::HashSet<(u64, u8)>,
+    edges: std::collections::HashSet<(u64, u64)>,
+}
+
+impl RoundResources {
+    fn of(round: &[Op]) -> Self {
+        let mut res = RoundResources::default();
+        for op in round {
+            match *op {
+                Op::CompareExchange { a, b, .. } => {
+                    res.keys.insert(a);
+                    res.keys.insert(b);
+                    res.edges.insert((a, b));
+                    res.edges.insert((b, a));
+                }
+                Op::Move {
+                    from,
+                    to,
+                    slot,
+                    from_key,
+                } => {
+                    if from_key {
+                        res.keys.insert(from);
+                    } else {
+                        res.slots.insert((from, slot));
+                    }
+                    res.slots.insert((to, slot));
+                    res.edges.insert((from, to));
+                }
+                Op::Resolve { node, slot, .. } => {
+                    res.keys.insert(node);
+                    res.slots.insert((node, slot));
+                }
+            }
+        }
+        res
+    }
+
+    fn disjoint(&self, other: &RoundResources) -> bool {
+        self.keys.is_disjoint(&other.keys)
+            && self.slots.is_disjoint(&other.slots)
+            && self.edges.is_disjoint(&other.edges)
+    }
+
+    fn absorb(&mut self, other: RoundResources) {
+        self.keys.extend(other.keys);
+        self.slots.extend(other.slots);
+        self.edges.extend(other.edges);
+    }
+}
+
+/// Merge adjacent rounds with disjoint resource footprints. Only
+/// *adjacent* rounds fuse (never across a conflicting round), so the
+/// sequential semantics are preserved exactly: disjointness means no op
+/// of the later round observes or perturbs anything the earlier round
+/// touched.
+fn fuse_disjoint_rounds(rounds: Vec<BspRound>, stats: &mut ProgramStats) -> Vec<BspRound> {
+    let mut fused: Vec<(BspRound, RoundResources)> = Vec::new();
+    for round in rounds {
+        let res = RoundResources::of(&round);
+        if let Some((last, last_res)) = fused.last_mut() {
+            if last_res.disjoint(&res) {
+                last.extend(round);
+                last_res.absorb(res);
+                stats.rounds_fused += 1;
+                continue;
+            }
+        }
+        fused.push((round, res));
+    }
+    fused.into_iter().map(|(round, _)| round).collect()
 }
 
 /// The BSP machine: executes compiled programs with full validation.
@@ -293,6 +511,381 @@ impl BspMachine {
         );
         program.rounds.len() as u64
     }
+
+    /// Statically validate a program against this machine — without any
+    /// keys. The schedule is input-independent, so **everything**
+    /// [`BspMachine::run`] checks during execution can be checked here
+    /// once: adjacency, per-round edge/key/slot discipline, and transit
+    /// occupancy across rounds (every take finds a value, every write
+    /// finds a free slot, nothing is left in flight at the end).
+    ///
+    /// This also enforces one condition `run` does not need: within a
+    /// round, no resident key may be both read (by a [`Op::Move`] first
+    /// hop) and written (by a compare-exchange or resolve). Rounds with
+    /// that property execute identically whether ops run in order or
+    /// all read the start-of-round state — the guarantee that makes
+    /// [`BspMachine::run_parallel`] bit-identical to serial execution.
+    /// [`compile`] and [`CompiledProgram::optimized`] never produce
+    /// such rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation, naming the round and the resource.
+    pub fn validate(&self, program: &CompiledProgram) {
+        assert_eq!(
+            program.shape, self.shape,
+            "program compiled for another shape"
+        );
+        let n_nodes = self.shape.len() as usize;
+        let mut occupied = vec![[false; 2]; n_nodes];
+        for (ri, round) in program.rounds.iter().enumerate() {
+            let mut key_read: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            let mut key_written: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            let mut slot_taken: std::collections::HashSet<(u64, u8)> =
+                std::collections::HashSet::new();
+            let mut slot_written: std::collections::HashSet<(u64, u8)> =
+                std::collections::HashSet::new();
+            let mut edge_used: std::collections::HashSet<(u64, u64)> =
+                std::collections::HashSet::new();
+            for op in round {
+                match *op {
+                    Op::CompareExchange { a, b, .. } => {
+                        assert!(
+                            self.network.has_edge(a, b),
+                            "round {ri}: compare-exchange ({a},{b}) is not an edge"
+                        );
+                        for (x, y) in [(a, b), (b, a)] {
+                            assert!(
+                                edge_used.insert((x, y)),
+                                "round {ri}: edge ({x}->{y}) used twice"
+                            );
+                        }
+                        for v in [a, b] {
+                            assert!(
+                                key_written.insert(v),
+                                "round {ri}: node {v} key accessed twice"
+                            );
+                        }
+                    }
+                    Op::Move {
+                        from,
+                        to,
+                        slot,
+                        from_key,
+                    } => {
+                        assert!(slot < 2, "round {ri}: bad slot {slot}");
+                        assert!(
+                            self.network.has_edge(from, to),
+                            "round {ri}: move ({from}->{to}) is not an edge"
+                        );
+                        assert!(
+                            edge_used.insert((from, to)),
+                            "round {ri}: edge ({from}->{to}) used twice"
+                        );
+                        if from_key {
+                            key_read.insert(from);
+                        } else {
+                            assert!(
+                                occupied[from as usize][slot as usize],
+                                "round {ri}: node {from} slot {slot} empty"
+                            );
+                            assert!(
+                                slot_taken.insert((from, slot)),
+                                "round {ri}: node {from} slot {slot} taken twice"
+                            );
+                        }
+                        assert!(
+                            slot_written.insert((to, slot)),
+                            "round {ri}: node {to} slot {slot} written twice"
+                        );
+                    }
+                    Op::Resolve { node, slot, .. } => {
+                        assert!(slot < 2, "round {ri}: bad slot {slot}");
+                        assert!(
+                            occupied[node as usize][slot as usize],
+                            "round {ri}: resolve of empty slot {slot} at {node}"
+                        );
+                        assert!(
+                            slot_taken.insert((node, slot)),
+                            "round {ri}: node {node} slot {slot} taken twice"
+                        );
+                        assert!(
+                            key_written.insert(node),
+                            "round {ri}: node {node} key accessed twice"
+                        );
+                    }
+                }
+            }
+            if let Some(v) = key_read.intersection(&key_written).next() {
+                panic!(
+                    "round {ri}: node {v} key both read and written in one round \
+                     (order-dependent; unsafe for deferred execution)"
+                );
+            }
+            for &(v, s) in &slot_taken {
+                occupied[v as usize][s as usize] = false;
+            }
+            for &(v, s) in &slot_written {
+                assert!(
+                    !occupied[v as usize][s as usize],
+                    "round {ri}: node {v} slot {s} still occupied"
+                );
+                occupied[v as usize][s as usize] = true;
+            }
+        }
+        assert!(
+            occupied.iter().all(|t| !t[0] && !t[1]),
+            "transit values left in flight after the program ended"
+        );
+    }
+
+    /// Execute a compiled program with intra-round parallelism. The
+    /// program is validated statically up front ([`BspMachine::validate`]);
+    /// execution itself then runs without per-op checks. Rounds with at
+    /// least [`PAR_THRESHOLD`](crate::engine::PAR_THRESHOLD) operations
+    /// are split across threads: every op reads the immutable
+    /// start-of-round state and produces a deferred effect, and the
+    /// effects (disjoint, by validation) are committed afterwards —
+    /// bit-identical to [`BspMachine::run`] on every input. Smaller
+    /// rounds run serially; chunking overhead would dominate.
+    ///
+    /// Returns the number of rounds executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails or `keys.len()` is not one per node.
+    pub fn run_parallel<K>(&self, keys: &mut [K], program: &CompiledProgram) -> u64
+    where
+        K: Ord + Clone + Send + Sync,
+    {
+        self.validate(program);
+        assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
+        let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
+        for round in &program.rounds {
+            if round.len() < crate::engine::PAR_THRESHOLD {
+                exec_round_serial(keys, &mut transit, round);
+            } else {
+                use rayon::prelude::*;
+                let actions: Vec<Action<K>> = {
+                    let keys_ref: &[K] = keys;
+                    let transit_ref: &[[Option<K>; 2]] = &transit;
+                    round
+                        .par_iter()
+                        .map(|op| plan_op(op, keys_ref, transit_ref))
+                        .collect()
+                };
+                commit_actions(actions, keys, &mut transit);
+            }
+        }
+        program.rounds.len() as u64
+    }
+
+    /// Drive `batch.len()` independent key vectors through one compiled
+    /// program, one thread per vector (inter-input parallelism — the
+    /// natural grain for throughput, since the vectors share nothing).
+    /// The program is validated once for the whole batch; each vector
+    /// then executes serially and unchecked, producing exactly the
+    /// configuration [`BspMachine::run`] would.
+    ///
+    /// Returns the number of rounds executed (the same for every
+    /// vector — the schedule is oblivious).
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails or any vector is not one key per node.
+    pub fn run_batch<K>(&self, batch: &mut [Vec<K>], program: &CompiledProgram) -> u64
+    where
+        K: Ord + Clone + Send + Sync,
+    {
+        self.validate(program);
+        for keys in batch.iter() {
+            assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
+        }
+        if batch.len() <= 1 {
+            for keys in batch.iter_mut() {
+                exec_program(keys, program);
+            }
+        } else {
+            use rayon::prelude::*;
+            batch
+                .par_iter_mut()
+                .for_each(|keys| exec_program(keys, program));
+        }
+        program.rounds.len() as u64
+    }
+}
+
+/// Deferred effect of one op, computed against immutable start-of-round
+/// state during parallel round execution.
+enum Action<K> {
+    /// Compare-exchange that needs no swap.
+    Keep,
+    /// Compare-exchange swapping the resident keys at two ranks.
+    Swap(usize, usize),
+    /// Move: write `value` into `(node, slot)`; `clear` is the source
+    /// slot to empty when the payload came from transit.
+    Write {
+        node: usize,
+        slot: usize,
+        value: K,
+        clear: Option<(usize, usize)>,
+    },
+    /// Resolve: clear `(node, slot)` and, if `value` is set, replace
+    /// the resident key with the arrived one.
+    Resolved {
+        node: usize,
+        slot: usize,
+        value: Option<K>,
+    },
+}
+
+/// Compute one op's deferred effect. Only reads; infallible on
+/// validated programs.
+fn plan_op<K: Ord + Clone>(op: &Op, keys: &[K], transit: &[[Option<K>; 2]]) -> Action<K> {
+    match *op {
+        Op::CompareExchange { a, b, min_to_a } => {
+            let (ai, bi) = (a as usize, b as usize);
+            let a_has_min = keys[ai] <= keys[bi];
+            if a_has_min == min_to_a {
+                Action::Keep
+            } else {
+                Action::Swap(ai, bi)
+            }
+        }
+        Op::Move {
+            from,
+            to,
+            slot,
+            from_key,
+        } => {
+            let (fi, si) = (from as usize, slot as usize);
+            let value = if from_key {
+                keys[fi].clone()
+            } else {
+                transit[fi][si].clone().expect("validated: slot occupied")
+            };
+            Action::Write {
+                node: to as usize,
+                slot: si,
+                value,
+                clear: (!from_key).then_some((fi, si)),
+            }
+        }
+        Op::Resolve {
+            node,
+            slot,
+            keep_min,
+        } => {
+            let (ni, si) = (node as usize, slot as usize);
+            let arrived = transit[ni][si].as_ref().expect("validated: slot occupied");
+            let keep_arrived = if keep_min {
+                arrived < &keys[ni]
+            } else {
+                arrived > &keys[ni]
+            };
+            Action::Resolved {
+                node: ni,
+                slot: si,
+                value: keep_arrived.then(|| arrived.clone()),
+            }
+        }
+    }
+}
+
+/// Apply a round's deferred effects: takes clear first (so a slot can
+/// be forwarded and refilled within one round), then keys and slot
+/// writes land. All effects are disjoint by validation, so order within
+/// each phase is irrelevant.
+fn commit_actions<K>(actions: Vec<Action<K>>, keys: &mut [K], transit: &mut [[Option<K>; 2]]) {
+    for action in &actions {
+        match *action {
+            Action::Write {
+                clear: Some((n, s)),
+                ..
+            }
+            | Action::Resolved {
+                node: n, slot: s, ..
+            } => transit[n][s] = None,
+            _ => {}
+        }
+    }
+    for action in actions {
+        match action {
+            Action::Keep => {}
+            Action::Swap(i, j) => keys.swap(i, j),
+            Action::Write {
+                node, slot, value, ..
+            } => {
+                debug_assert!(transit[node][slot].is_none(), "validated: slot free");
+                transit[node][slot] = Some(value);
+            }
+            Action::Resolved { node, value, .. } => {
+                if let Some(v) = value {
+                    keys[node] = v;
+                }
+            }
+        }
+    }
+}
+
+/// One round, serial, unchecked — the data semantics of
+/// [`BspMachine::run`]'s inner loop (takes read start-of-round transit
+/// state; incoming values commit at the end of the round).
+fn exec_round_serial<K: Ord + Clone>(keys: &mut [K], transit: &mut [[Option<K>; 2]], round: &[Op]) {
+    let mut incoming: Vec<(usize, usize, K)> = Vec::new();
+    for op in round {
+        match *op {
+            Op::CompareExchange { a, b, min_to_a } => {
+                let (ai, bi) = (a as usize, b as usize);
+                let a_has_min = keys[ai] <= keys[bi];
+                if a_has_min != min_to_a {
+                    keys.swap(ai, bi);
+                }
+            }
+            Op::Move {
+                from,
+                to,
+                slot,
+                from_key,
+            } => {
+                let (fi, si) = (from as usize, slot as usize);
+                let payload = if from_key {
+                    keys[fi].clone()
+                } else {
+                    transit[fi][si].take().expect("validated: slot occupied")
+                };
+                incoming.push((to as usize, si, payload));
+            }
+            Op::Resolve {
+                node,
+                slot,
+                keep_min,
+            } => {
+                let (ni, si) = (node as usize, slot as usize);
+                let arrived = transit[ni][si].take().expect("validated: slot occupied");
+                let resident = &mut keys[ni];
+                let keep_arrived = if keep_min {
+                    arrived < *resident
+                } else {
+                    arrived > *resident
+                };
+                if keep_arrived {
+                    *resident = arrived;
+                }
+            }
+        }
+    }
+    for (to, slot, payload) in incoming {
+        transit[to][slot] = Some(payload);
+    }
+}
+
+/// Run a whole validated program serially on one key vector.
+fn exec_program<K: Ord + Clone>(keys: &mut [K], program: &CompiledProgram) {
+    let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
+    for round in &program.rounds {
+        exec_round_serial(keys, &mut transit, round);
+    }
 }
 
 /// One logical pair round captured from the algorithm: simultaneous
@@ -391,7 +984,7 @@ pub fn compile(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) -> CompiledProg
     for logical in &engine.recorded {
         lower_pair_round(factor, shape, &logical.pairs, &mut rounds);
     }
-    CompiledProgram { shape, rounds }
+    CompiledProgram::from_rounds(shape, rounds)
 }
 
 /// Lower one logical pair round. Adjacent pairs go into a single
@@ -619,14 +1212,14 @@ mod tests {
     fn machine_rejects_non_edge_compare() {
         let factor = factories::path(3);
         let machine = BspMachine::new(&factor, 2);
-        let program = CompiledProgram {
-            shape: machine.shape(),
-            rounds: vec![vec![Op::CompareExchange {
+        let program = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![vec![Op::CompareExchange {
                 a: 0,
                 b: 2, // labels 0 and 2 are not adjacent on the path
                 min_to_a: true,
             }]],
-        };
+        );
         let mut keys: Vec<u32> = (0..9).collect();
         machine.run(&mut keys, &program);
     }
@@ -636,9 +1229,9 @@ mod tests {
     fn machine_rejects_node_reuse_in_round() {
         let factor = factories::path(3);
         let machine = BspMachine::new(&factor, 2);
-        let program = CompiledProgram {
-            shape: machine.shape(),
-            rounds: vec![vec![
+        let program = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![vec![
                 Op::CompareExchange {
                     a: 0,
                     b: 1,
@@ -650,7 +1243,7 @@ mod tests {
                     min_to_a: true,
                 },
             ]],
-        };
+        );
         let mut keys: Vec<u32> = (0..9).collect();
         machine.run(&mut keys, &program);
     }
@@ -660,14 +1253,14 @@ mod tests {
     fn machine_rejects_resolving_empty_slot() {
         let factor = factories::path(3);
         let machine = BspMachine::new(&factor, 2);
-        let program = CompiledProgram {
-            shape: machine.shape(),
-            rounds: vec![vec![Op::Resolve {
+        let program = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![vec![Op::Resolve {
                 node: 0,
                 slot: 0,
                 keep_min: true,
             }]],
-        };
+        );
         let mut keys: Vec<u32> = (0..9).collect();
         machine.run(&mut keys, &program);
     }
@@ -693,5 +1286,239 @@ mod tests {
         let program = compile(&factor, 2, &OetSnakeSorter);
         assert!(program.op_count() > 0);
         assert!(program.rounds() > 0);
+    }
+
+    /// Deterministic pseudo-random keys for differential checks.
+    fn lcg_keys(len: u64, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(i | 1);
+                state >> 33
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_parallel_is_bit_identical_to_run() {
+        // k2 r=8 has 64-op compare rounds (hits the parallel path);
+        // star relays exercise Move/Resolve on the serial-fallback path.
+        for (factor, r, sorter) in [
+            (factories::k2(), 8usize, &Hypercube2Sorter as &dyn Pg2Sorter),
+            (factories::star(4), 2, &OetSnakeSorter),
+            (factories::path(4), 3, &ShearSorter),
+        ] {
+            let program = compile(&factor, r, sorter);
+            let machine = BspMachine::new(&factor, r);
+            for seed in [1u64, 99, 4242] {
+                let keys = lcg_keys(machine.shape().len(), seed);
+                let mut serial = keys.clone();
+                let mut parallel = keys;
+                machine.run(&mut serial, &program);
+                machine.run_parallel(&mut parallel, &program);
+                assert_eq!(serial, parallel, "{factor:?} r={r} seed={seed}");
+                assert!(snake_sorted(machine.shape(), &parallel));
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let factor = factories::star(4);
+        let program = compile(&factor, 2, &OetSnakeSorter);
+        let machine = BspMachine::new(&factor, 2);
+        let mut batch: Vec<Vec<u64>> = (0..8)
+            .map(|seed| lcg_keys(machine.shape().len(), seed * 7 + 1))
+            .collect();
+        let expected: Vec<Vec<u64>> = batch
+            .iter()
+            .map(|keys| {
+                let mut k = keys.clone();
+                machine.run(&mut k, &program);
+                k
+            })
+            .collect();
+        let rounds = machine.run_batch(&mut batch, &program);
+        assert_eq!(rounds as usize, program.rounds());
+        assert_eq!(batch, expected);
+    }
+
+    #[test]
+    fn optimized_program_sorts_identically_with_fewer_rounds() {
+        for (factor, r, sorter) in [
+            (factories::k2(), 4usize, &Hypercube2Sorter as &dyn Pg2Sorter),
+            (factories::star(4), 2, &OetSnakeSorter),
+            (factories::path(3), 3, &ShearSorter),
+        ] {
+            let program = compile(&factor, r, sorter);
+            let opt = program.optimized();
+            let stats = opt.stats();
+            // Bookkeeping identities: every dropped op and round is
+            // attributed to exactly one pass.
+            assert_eq!(
+                stats.ops_after,
+                stats.ops_before - stats.compare_exchanges_elided,
+                "{factor:?}"
+            );
+            assert_eq!(
+                stats.rounds_after,
+                stats.rounds_before - stats.empty_rounds_elided - stats.rounds_fused,
+                "{factor:?}"
+            );
+            assert!(stats.rounds_after <= stats.rounds_before);
+            // The optimized program still produces the exact serial
+            // configuration, in both executors.
+            let machine = BspMachine::new(&factor, r);
+            let keys = lcg_keys(machine.shape().len(), 5);
+            let mut baseline = keys.clone();
+            machine.run(&mut baseline, &program);
+            let mut via_opt = keys.clone();
+            machine.run(&mut via_opt, &opt);
+            assert_eq!(baseline, via_opt, "{factor:?} optimized serial");
+            let mut via_opt_par = keys;
+            machine.run_parallel(&mut via_opt_par, &opt);
+            assert_eq!(baseline, via_opt_par, "{factor:?} optimized parallel");
+        }
+    }
+
+    #[test]
+    fn optimizer_elides_empty_parity_rounds() {
+        // N=2 transposition rounds have an empty parity class: the
+        // compiled program carries empty rounds which optimization
+        // removes.
+        let program = compile(&factories::k2(), 4, &Hypercube2Sorter);
+        let stats = program.optimized().stats();
+        assert!(
+            stats.empty_rounds_elided > 0,
+            "expected empty parity rounds on the 4-cube, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn optimizer_drops_repeated_compare_exchanges() {
+        let factor = factories::path(3);
+        let shape = Shape::new(3, 2);
+        let cx = Op::CompareExchange {
+            a: 0,
+            b: 1,
+            min_to_a: true,
+        };
+        // Same exchange twice with nothing touching nodes 0/1 between:
+        // the second is a provable no-op. A third with the opposite
+        // direction is NOT dropped (it can swap).
+        let program = CompiledProgram::from_rounds(
+            shape,
+            vec![
+                vec![cx],
+                vec![cx],
+                vec![Op::CompareExchange {
+                    a: 0,
+                    b: 1,
+                    min_to_a: false,
+                }],
+            ],
+        );
+        let opt = program.optimized();
+        assert_eq!(opt.stats().compare_exchanges_elided, 1);
+        assert_eq!(opt.op_count(), 2);
+        // Behaviour unchanged.
+        let machine = BspMachine::new(&factor, 2);
+        let mut a: Vec<u32> = vec![5, 3, 8, 1, 9, 2, 7, 4, 6];
+        let mut b = a.clone();
+        machine.run(&mut a, &program);
+        machine.run(&mut b, &opt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimizer_fuses_disjoint_adjacent_rounds() {
+        let shape = Shape::new(3, 2);
+        // Two rounds touching disjoint node pairs fuse into one.
+        let program = CompiledProgram::from_rounds(
+            shape,
+            vec![
+                vec![Op::CompareExchange {
+                    a: 0,
+                    b: 1,
+                    min_to_a: true,
+                }],
+                vec![Op::CompareExchange {
+                    a: 3,
+                    b: 4,
+                    min_to_a: true,
+                }],
+            ],
+        );
+        let opt = program.optimized();
+        assert_eq!(opt.stats().rounds_fused, 1);
+        assert_eq!(opt.rounds(), 1);
+        assert_eq!(opt.op_count(), 2);
+        let machine = BspMachine::new(&factories::path(3), 2);
+        let mut keys: Vec<u32> = (0..9).rev().collect();
+        let mut expect = keys.clone();
+        machine.run(&mut keys, &opt);
+        machine.run(&mut expect, &program);
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn validate_accepts_every_compiled_and_optimized_program() {
+        for (factor, r, sorter) in [
+            (factories::path(4), 2usize, &ShearSorter as &dyn Pg2Sorter),
+            (factories::star(4), 2, &OetSnakeSorter),
+            (factories::k2(), 5, &Hypercube2Sorter),
+            (
+                Machine::prepare_factor(&factories::petersen()),
+                2,
+                &OetSnakeSorter,
+            ),
+        ] {
+            let machine = BspMachine::new(&factor, r);
+            let program = compile(&factor, r, sorter);
+            machine.validate(&program);
+            machine.validate(&program.optimized());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read and written in one round")]
+    fn validate_rejects_order_dependent_rounds() {
+        // Node 1's key is read by a relay first hop and written by a
+        // compare-exchange in the same round: serial execution order
+        // would decide which value the relay carries.
+        let factor = factories::path(3);
+        let machine = BspMachine::new(&factor, 2);
+        let program = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![
+                vec![
+                    Op::Move {
+                        from: 1,
+                        to: 2,
+                        slot: 0,
+                        from_key: true,
+                    },
+                    Op::CompareExchange {
+                        a: 0,
+                        b: 1,
+                        min_to_a: true,
+                    },
+                ],
+                vec![Op::Resolve {
+                    node: 2,
+                    slot: 0,
+                    keep_min: true,
+                }],
+            ],
+        );
+        machine.validate(&program);
+    }
+
+    #[test]
+    fn stats_survive_serialization() {
+        let program = compile(&factories::k2(), 3, &Hypercube2Sorter).optimized();
+        let json = serde_json::to_string(&program).expect("serialize");
+        let back: CompiledProgram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.stats(), program.stats());
     }
 }

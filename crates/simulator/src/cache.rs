@@ -1,0 +1,279 @@
+//! A cache of compiled BSP programs, keyed by the *structure* of the
+//! sort: factor-graph wiring, number of dimensions, and `PG_2` sorter.
+//!
+//! Compiling a program ([`crate::bsp::compile`]) replays the whole
+//! algorithm through a recording engine and lowers every logical round
+//! — far more expensive than executing the result once. Repeated sorts
+//! on the same topology (parameter sweeps, batched throughput runs)
+//! should compile once; this cache makes that automatic and observable
+//! (hit/miss counters).
+//!
+//! The key deliberately stores the factor's **full edge set**, not a
+//! hash of it: two factors with equal node and edge counts but
+//! different wiring (say, a path and a star on four nodes) can never
+//! collide, by construction. [`fingerprint`] offers a compact digest
+//! of the same identity for display and logging only.
+
+use crate::bsp::{compile, CompiledProgram};
+use crate::sorters::Pg2Sorter;
+use pns_graph::Graph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Structural identity of a compiled program: everything [`compile`]'s
+/// output depends on, with the edge set stored verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    /// Factor node count.
+    pub n: usize,
+    /// Product dimensions.
+    pub r: usize,
+    /// `PG_2` sorter identifier ([`Pg2Sorter::name`]).
+    pub sorter: &'static str,
+    /// Normalized edge list: each edge as `(min, max)`, sorted.
+    pub edges: Vec<(u32, u32)>,
+    /// Whether the cached program went through
+    /// [`CompiledProgram::optimized`].
+    pub optimized: bool,
+}
+
+impl ProgramKey {
+    /// Key for the program sorting the product of `factor` with `r`
+    /// dimensions using `sorter`.
+    #[must_use]
+    pub fn new(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter, optimized: bool) -> Self {
+        ProgramKey {
+            n: factor.n(),
+            r,
+            sorter: sorter.name(),
+            edges: normalized_edges(factor),
+            optimized,
+        }
+    }
+}
+
+fn normalized_edges(factor: &Graph) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = factor.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Compact digest (FNV-1a over node count, dimensions, sorter name, and
+/// the normalized edge set) of a program's structural identity. For
+/// display and logging; the cache itself compares full keys, so
+/// fingerprint collisions cannot cause wrong programs to be served.
+#[must_use]
+pub fn fingerprint(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&(factor.n() as u64).to_le_bytes());
+    eat(&(r as u64).to_le_bytes());
+    eat(sorter.name().as_bytes());
+    for (a, b) in normalized_edges(factor) {
+        eat(&a.to_le_bytes());
+        eat(&b.to_le_bytes());
+    }
+    h
+}
+
+/// Thread-safe cache of compiled programs with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    programs: RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// The compiled program for `(factor, r, sorter)`, compiling on the
+    /// first request and returning the shared compiled copy afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a previous compile
+    /// panicked).
+    pub fn get_or_compile(
+        &self,
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+    ) -> Arc<CompiledProgram> {
+        self.lookup(ProgramKey::new(factor, r, sorter, false), || {
+            compile(factor, r, sorter)
+        })
+    }
+
+    /// As [`ProgramCache::get_or_compile`], but the cached program is
+    /// run through [`CompiledProgram::optimized`]. Cached separately
+    /// from the unoptimized program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn get_or_compile_optimized(
+        &self,
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+    ) -> Arc<CompiledProgram> {
+        self.lookup(ProgramKey::new(factor, r, sorter, true), || {
+            compile(factor, r, sorter).optimized()
+        })
+    }
+
+    fn lookup(
+        &self,
+        key: ProgramKey,
+        build: impl FnOnce() -> CompiledProgram,
+    ) -> Arc<CompiledProgram> {
+        if let Some(hit) = self.programs.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock; a concurrent compile of the same key
+        // wastes work but stays correct (last insert wins, same program).
+        let program = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.programs
+            .write()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&program));
+        program
+    }
+
+    /// Requests served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to compile.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct programs held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.programs.read().expect("cache lock").len()
+    }
+
+    /// `true` iff no program is cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached programs (counters keep their totals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn clear(&self) {
+        self.programs.write().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorters::{OetSnakeSorter, ShearSorter};
+    use pns_graph::factories;
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_program() {
+        let cache = ProgramCache::new();
+        let factor = factories::path(3);
+        let first = cache.get_or_compile(&factor, 2, &ShearSorter);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache.get_or_compile(&factor, 2, &ShearSorter);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit must share, not recompile"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_parameters_get_distinct_entries() {
+        let cache = ProgramCache::new();
+        let factor = factories::path(3);
+        let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
+        let _ = cache.get_or_compile(&factor, 3, &ShearSorter); // other r
+        let _ = cache.get_or_compile(&factor, 2, &OetSnakeSorter); // other sorter
+        let _ = cache.get_or_compile_optimized(&factor, 2, &ShearSorter); // optimized
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn same_counts_different_wiring_do_not_collide() {
+        // path(4) and star(4) both have 4 nodes and 3 edges; the keys
+        // must differ because the edge sets differ.
+        let path = factories::path(4);
+        let star = factories::star(4);
+        let kp = ProgramKey::new(&path, 2, &OetSnakeSorter, false);
+        let ks = ProgramKey::new(&star, 2, &OetSnakeSorter, false);
+        assert_eq!(kp.n, ks.n);
+        assert_eq!(kp.edges.len(), ks.edges.len());
+        assert_ne!(kp, ks, "wiring must be part of the key");
+
+        let cache = ProgramCache::new();
+        let p_path = cache.get_or_compile(&path, 2, &OetSnakeSorter);
+        let p_star = cache.get_or_compile(&star, 2, &OetSnakeSorter);
+        assert_eq!(cache.misses(), 2, "no collision: both compile");
+        // The star program relays through the hub; the path program
+        // does not — structurally different schedules.
+        assert_ne!(p_path.op_count(), p_star.op_count());
+    }
+
+    #[test]
+    fn fingerprints_separate_wiring_too() {
+        let path = factories::path(4);
+        let star = factories::star(4);
+        assert_ne!(
+            fingerprint(&path, 2, &OetSnakeSorter),
+            fingerprint(&star, 2, &OetSnakeSorter)
+        );
+        assert_eq!(
+            fingerprint(&path, 2, &OetSnakeSorter),
+            fingerprint(&factories::path(4), 2, &OetSnakeSorter),
+            "fingerprint is a pure function of the structure"
+        );
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = ProgramCache::new();
+        let factor = factories::path(3);
+        let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+        let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
+        assert_eq!(cache.misses(), 2, "cleared entries recompile");
+    }
+}

@@ -65,9 +65,11 @@ impl ChargedEngine {
     }
 }
 
-/// Below this many subgraphs a parallel round runs serially: the rayon
-/// fork-join overhead dwarfs the work on tiny rounds.
-const PAR_THRESHOLD: usize = 64;
+/// Below this many independent work items a parallel round runs
+/// serially: the rayon fork-join overhead dwarfs the work on tiny
+/// rounds. Shared by the engines here and the BSP executor
+/// ([`crate::bsp::BspMachine::run_parallel`]).
+pub const PAR_THRESHOLD: usize = 64;
 
 impl<K: Ord + Clone + Send + Sync> Engine<K> for ChargedEngine {
     fn sort_round(&mut self, keys: &mut [K], subgraphs: &[Pg2Instance]) -> u64 {

@@ -27,6 +27,7 @@
 
 pub mod block;
 pub mod bsp;
+pub mod cache;
 pub mod cost;
 pub mod engine;
 pub mod enumerate;
@@ -37,9 +38,10 @@ pub mod sorters;
 pub mod verify;
 
 pub use block::{block_sort, BlockEngine, SortedBlock};
-pub use bsp::{compile, BspMachine, CompiledProgram, Op};
+pub use bsp::{compile, BspMachine, CompiledProgram, Op, ProgramStats};
+pub use cache::{fingerprint, ProgramCache, ProgramKey};
 pub use cost::CostModel;
-pub use engine::{ChargedEngine, Engine, ExecutedEngine, Pg2Instance};
+pub use engine::{ChargedEngine, Engine, ExecutedEngine, Pg2Instance, PAR_THRESHOLD};
 pub use machine::{Machine, SortError, SortReport};
 pub use netsort::{network_sort, NetSortOutcome};
 pub use sample::{sample_sort, SampleSortOutcome};

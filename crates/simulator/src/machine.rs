@@ -1,6 +1,8 @@
 //! User-facing entry point: build a machine over a factor graph, feed it
 //! keys, get back a sorted configuration and a step report.
 
+use crate::bsp::{BspMachine, CompiledProgram};
+use crate::cache::ProgramCache;
 use crate::cost::CostModel;
 use crate::engine::{ChargedEngine, ExecutedEngine};
 use crate::netsort::{is_snake_sorted, network_sort, read_snake_order, NetSortOutcome};
@@ -8,6 +10,7 @@ use crate::sorters::Pg2Sorter;
 use pns_graph::{Graph, LinearEmbedding};
 use pns_order::radix::Shape;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors reported by [`Machine::sort`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +39,34 @@ impl std::error::Error for SortError {}
 enum EngineKind {
     Charged(ChargedEngine),
     Executed(ExecutedEngine),
+    Compiled(CompiledKind),
+}
+
+/// A machine backed by a compiled BSP program (possibly shared through
+/// a [`ProgramCache`]).
+struct CompiledKind {
+    bsp: BspMachine,
+    program: Arc<CompiledProgram>,
+    /// Logical unit counters for one sort on this shape — a pure
+    /// function of the shape, captured once at construction.
+    counters: pns_core::Counters,
+    /// Steps one `PG_2` sort round costs under the executed engine.
+    s2_steps: u64,
+}
+
+impl CompiledKind {
+    /// The outcome every sort through this program reports: `steps`
+    /// counts **BSP rounds** (the compiled schedule's synchronous
+    /// rounds); the sort/transposition split of the logical engines
+    /// does not survive lowering, so those both read zero.
+    fn outcome(&self) -> NetSortOutcome {
+        NetSortOutcome {
+            counters: self.counters,
+            steps: self.program.rounds() as u64,
+            sort_steps: 0,
+            oet_steps: 0,
+        }
+    }
 }
 
 /// A simulated `PG_r` machine ready to sort.
@@ -70,6 +101,78 @@ impl Machine {
         }
     }
 
+    /// A machine that executes a compiled BSP program, fetched from (or
+    /// compiled into) `cache`. Repeated construction for the same
+    /// `(factor, r, sorter)` reuses the cached program — no
+    /// recompilation, observable via the cache's hit counter.
+    ///
+    /// Sorts run through [`BspMachine::run_parallel`]; batches
+    /// ([`Machine::sort_batch`]) run through [`BspMachine::run_batch`].
+    /// Both are bit-identical to serial BSP execution.
+    #[must_use]
+    pub fn compiled(
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+        cache: &ProgramCache,
+    ) -> Self {
+        let program = cache.get_or_compile(factor, r, sorter);
+        Machine::with_program(factor, r, sorter, program)
+    }
+
+    /// As [`Machine::compiled`], but the program is optimized
+    /// ([`CompiledProgram::optimized`]): empty rounds elided, idempotent
+    /// compare-exchanges dropped, disjoint adjacent rounds fused. The
+    /// reported step count is the optimized round count, generally
+    /// *below* the executed engine's.
+    #[must_use]
+    pub fn compiled_optimized(
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+        cache: &ProgramCache,
+    ) -> Self {
+        let program = cache.get_or_compile_optimized(factor, r, sorter);
+        Machine::with_program(factor, r, sorter, program)
+    }
+
+    fn with_program(
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+        program: Arc<CompiledProgram>,
+    ) -> Self {
+        assert!(pns_graph::is_connected(factor), "factor must be connected");
+        let shape = Shape::new(factor.n(), r);
+        assert_eq!(program.shape(), shape, "cached program shape mismatch");
+        // The logical unit counters are engine-independent (pure control
+        // flow of the algorithm): capture them with a unit-cost replay.
+        let mut dummy: Vec<u32> = (0..shape.len() as u32).collect();
+        let mut counter_engine = ChargedEngine::new(CostModel::custom("unit", 1, 1));
+        let counters = network_sort(shape, &mut dummy, &mut counter_engine).counters;
+        let s2_steps = ExecutedEngine::new(factor, shape, sorter).s2_steps();
+        Machine {
+            shape,
+            factor_name: factor.name().to_owned(),
+            engine: EngineKind::Compiled(CompiledKind {
+                bsp: BspMachine::new(factor, r),
+                program,
+                counters,
+                s2_steps,
+            }),
+        }
+    }
+
+    /// The compiled program backing this machine, if it is a compiled
+    /// machine (for stats inspection and direct BSP runs).
+    #[must_use]
+    pub fn program(&self) -> Option<&Arc<CompiledProgram>> {
+        match &self.engine {
+            EngineKind::Compiled(c) => Some(&c.program),
+            _ => None,
+        }
+    }
+
     /// Relabel a factor graph along its best linear embedding (Hamiltonian
     /// path if one exists, Sekanina ordering otherwise), as Section 2
     /// recommends: with such labels, label-consecutive nodes are within
@@ -98,6 +201,7 @@ impl Machine {
         match &self.engine {
             EngineKind::Charged(e) => e.cost().s2_steps,
             EngineKind::Executed(e) => e.s2_steps(),
+            EngineKind::Compiled(c) => c.s2_steps,
         }
     }
 
@@ -152,6 +256,17 @@ impl Machine {
             (EngineKind::Executed(e), true) => {
                 crate::verify::network_sort_checked(shape, &mut keys, e)
             }
+            (EngineKind::Compiled(c), checked) => {
+                c.bsp.run_parallel(&mut keys, &c.program);
+                // The per-stage invariant of `network_sort_checked` does
+                // not survive lowering; checked mode verifies the final
+                // configuration instead.
+                assert!(
+                    !checked || is_snake_sorted(shape, &keys),
+                    "compiled program left keys unsorted"
+                );
+                c.outcome()
+            }
         };
         Ok(SortReport {
             shape: self.shape,
@@ -159,6 +274,47 @@ impl Machine {
             keys,
             outcome,
         })
+    }
+
+    /// Sort many independent key vectors through this machine.
+    ///
+    /// On a compiled machine ([`Machine::compiled`]) the whole batch
+    /// runs through one program with one validation pass and one thread
+    /// per vector ([`BspMachine::run_batch`]) — the high-throughput
+    /// path. Other engine kinds sort the vectors one after another;
+    /// results are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::WrongKeyCount`] if any vector's length is not one
+    /// key per node; no vector is sorted in that case.
+    pub fn sort_batch<K>(&mut self, batch: Vec<Vec<K>>) -> Result<Vec<SortReport<K>>, SortError>
+    where
+        K: Ord + Clone + Send + Sync,
+    {
+        if let Some(bad) = batch.iter().find(|b| b.len() as u64 != self.shape.len()) {
+            return Err(SortError::WrongKeyCount {
+                expected: self.shape.len(),
+                got: bad.len(),
+            });
+        }
+        match &mut self.engine {
+            EngineKind::Compiled(c) => {
+                let mut batch = batch;
+                c.bsp.run_batch(&mut batch, &c.program);
+                let outcome = c.outcome();
+                Ok(batch
+                    .into_iter()
+                    .map(|keys| SortReport {
+                        shape: self.shape,
+                        factor_name: self.factor_name.clone(),
+                        keys,
+                        outcome,
+                    })
+                    .collect())
+            }
+            _ => batch.into_iter().map(|keys| self.sort(keys)).collect(),
+        }
     }
 }
 
@@ -312,6 +468,88 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("expected 9 keys"));
+    }
+
+    #[test]
+    fn compiled_machine_agrees_with_executed_machine() {
+        let cache = crate::cache::ProgramCache::new();
+        let factor = Machine::prepare_factor(&factories::complete_binary_tree(3));
+        let keys: Vec<u64> = (0..49).map(|x| (x * 31) % 37).collect();
+        let mut compiled = Machine::compiled(&factor, 2, &OetSnakeSorter, &cache);
+        let mut executed = Machine::executed(&factor, 2, &OetSnakeSorter);
+        let rc = compiled.sort(keys.clone()).unwrap();
+        let re = executed.sort(keys).unwrap();
+        assert_eq!(rc.keys, re.keys, "configurations must agree");
+        assert!(rc.is_snake_sorted());
+        assert_eq!(rc.steps() as usize, compiled.program().unwrap().rounds());
+    }
+
+    #[test]
+    fn compiled_machines_share_programs_through_the_cache() {
+        let cache = crate::cache::ProgramCache::new();
+        let factor = factories::path(3);
+        let mut first = Machine::compiled(&factor, 2, &ShearSorter, &cache);
+        let mut second = Machine::compiled(&factor, 2, &ShearSorter, &cache);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let r1 = first.sort((0..9u32).rev().collect()).unwrap();
+        let r2 = second.sort((0..9u32).rev().collect()).unwrap();
+        assert_eq!(r1.keys, r2.keys);
+    }
+
+    #[test]
+    fn sort_batch_matches_single_sorts_on_every_engine_kind() {
+        let cache = crate::cache::ProgramCache::new();
+        let factor = factories::path(3);
+        let batch: Vec<Vec<u64>> = (0..6)
+            .map(|s| (0..27u64).map(|x| (x * 7 + s * 13) % 29).collect())
+            .collect();
+        let mut machines = [
+            Machine::compiled(&factor, 3, &ShearSorter, &cache),
+            Machine::compiled_optimized(&factor, 3, &ShearSorter, &cache),
+            Machine::executed(&factor, 3, &ShearSorter),
+            Machine::charged(&factor, 3, CostModel::paper_grid(3)),
+        ];
+        let mut reference: Option<Vec<Vec<u64>>> = None;
+        for m in &mut machines {
+            let reports = m.sort_batch(batch.clone()).unwrap();
+            let keys: Vec<Vec<u64>> = reports.into_iter().map(|r| r.keys).collect();
+            match &reference {
+                None => reference = Some(keys),
+                Some(expect) => assert_eq!(&keys, expect),
+            }
+        }
+    }
+
+    #[test]
+    fn sort_batch_rejects_any_wrong_length_vector() {
+        let cache = crate::cache::ProgramCache::new();
+        let mut m = Machine::compiled(&factories::path(3), 2, &ShearSorter, &cache);
+        let err = m
+            .sort_batch(vec![vec![0u32; 9], vec![0u32; 8]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SortError::WrongKeyCount {
+                expected: 9,
+                got: 8
+            }
+        );
+    }
+
+    #[test]
+    fn compiled_optimized_machine_reports_fewer_or_equal_steps() {
+        let cache = crate::cache::ProgramCache::new();
+        let factor = factories::k2();
+        let keys: Vec<u64> = (0..32).rev().collect();
+        let mut plain = Machine::compiled(&factor, 5, &Hypercube2Sorter, &cache);
+        let mut opt = Machine::compiled_optimized(&factor, 5, &Hypercube2Sorter, &cache);
+        let rp = plain.sort(keys.clone()).unwrap();
+        let ro = opt.sort_checked(keys).unwrap();
+        assert_eq!(rp.keys, ro.keys);
+        assert!(
+            ro.steps() < rp.steps(),
+            "optimizer must shrink the 5-cube program"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@ use pns_graph::factories;
 use pns_order::radix::Shape;
 use pns_simulator::netsort::{is_snake_sorted, network_sort, read_snake_order};
 use pns_simulator::{
-    compile, BspMachine, ChargedEngine, CostModel, ExecutedEngine, Machine, OetSnakeSorter,
-    ShearSorter,
+    block_sort, compile, sample_sort, BspMachine, ChargedEngine, CostModel, ExecutedEngine,
+    Machine, OetSnakeSorter, ShearSorter,
 };
 use proptest::prelude::*;
 
@@ -108,5 +108,43 @@ proptest! {
             out.steps,
             (rr - 1) * (rr - 1) * s2 + (rr - 1) * (rr - 2) * route
         );
+    }
+
+    #[test]
+    fn block_sort_matches_std_sort(
+        n in 2usize..6, r in 2usize..4, block in 1usize..9,
+        seed in any::<u64>(), modulus in 1u64..10_000,
+    ) {
+        prop_assume!((n as u64).pow(r as u32) <= 256);
+        let shape = Shape::new(n, r);
+        let keys = keys_for(shape.len() * block as u64, seed, modulus);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let (sorted, outcome) = block_sort(shape, block, keys, CostModel::custom("prop", 1, 1));
+        prop_assert_eq!(sorted, expect);
+        // Theorem 1 units are block-size independent.
+        let rr = r as u64;
+        prop_assert_eq!(outcome.counters.s2_units, (rr - 1) * (rr - 1));
+        prop_assert_eq!(outcome.counters.route_units, (rr - 1) * (rr - 2));
+    }
+
+    #[test]
+    fn sample_sort_matches_std_sort(
+        n in 2usize..6, b in 4usize..33, oversample in 1usize..5,
+        seed in any::<u64>(), modulus in 1u64..10_000,
+    ) {
+        prop_assume!(oversample <= b);
+        let factor = factories::path(n);
+        let r = 2;
+        let p = n * n;
+        let keys = keys_for((p * b) as u64, seed, modulus);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let (sorted, outcome) =
+            sample_sort(&factor, r, b, keys, oversample, seed ^ 0x5A5A, &CostModel::custom("prop", 1, 1));
+        prop_assert_eq!(sorted, expect);
+        // Every key lands somewhere: the fullest bucket holds at least
+        // the average load.
+        prop_assert!(outcome.max_load >= b);
     }
 }

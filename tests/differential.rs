@@ -1,0 +1,162 @@
+//! Differential test harness: every execution path of the stack must
+//! produce the *same configuration* on the same input.
+//!
+//! For each (factor, r, sorter) in a zoo of product networks, and for
+//! each input in a bank of random and adversarial key vectors, we run:
+//!
+//! * the charged engine (`network_sort` + `ChargedEngine`),
+//! * the executed engine (`network_sort` + `ExecutedEngine`),
+//! * the serial BSP machine (`BspMachine::run`),
+//! * the deferred-action parallel executor (`run_parallel`),
+//! * the batched executor (`run_batch`, all inputs in one batch),
+//! * plus serial/parallel/batched runs of the *optimized* program,
+//!
+//! and require all seven configurations to be elementwise identical and
+//! snake-order equal to the `std` sort oracle. The algorithm is
+//! oblivious, so any divergence between these paths is a bug in an
+//! executor, not data dependence.
+
+use product_sort::graph::factories;
+use product_sort::graph::Graph;
+use product_sort::order::radix::Shape;
+use product_sort::sim::bsp::{compile, BspMachine};
+use product_sort::sim::netsort::{is_snake_sorted, network_sort, read_snake_order};
+use product_sort::sim::{
+    ChargedEngine, CostModel, ExecutedEngine, Hypercube2Sorter, Machine, OetSnakeSorter, Pg2Sorter,
+    ShearSorter,
+};
+
+fn lcg_keys(len: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        })
+        .collect()
+}
+
+/// Random and adversarial inputs for a network of `len` nodes.
+fn input_bank(len: u64) -> Vec<(String, Vec<u64>)> {
+    let mut bank: Vec<(String, Vec<u64>)> = Vec::new();
+    for seed in [1u64, 0xDEAD_BEEF, 0x1234_5678_9ABC_DEF0] {
+        bank.push((format!("random(seed={seed:#x})"), lcg_keys(len, seed)));
+    }
+    bank.push(("reversed".into(), (0..len).rev().collect()));
+    bank.push(("sorted".into(), (0..len).collect()));
+    bank.push(("all-equal".into(), vec![42; len as usize]));
+    bank.push(("sawtooth".into(), (0..len).map(|x| x % 7).collect()));
+    bank.push((
+        "two-values".into(),
+        (0..len).map(|x| u64::from(x % 3 == 0)).collect(),
+    ));
+    bank
+}
+
+/// Run the full engine matrix on one (factor, r, sorter) and compare.
+fn differential_case(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) {
+    let shape = Shape::new(factor.n(), r);
+    let len = shape.len();
+    let ctx = format!("factor={} r={r}", factor.name());
+
+    let program = compile(factor, r, sorter);
+    let optimized = program.optimized();
+    let bsp = BspMachine::new(factor, r);
+
+    let bank = input_bank(len);
+    let mut serials: Vec<Vec<u64>> = Vec::new();
+    for (label, input) in &bank {
+        let mut oracle = input.clone();
+        oracle.sort_unstable();
+
+        // Reference: serial BSP execution.
+        let mut serial = input.clone();
+        bsp.run(&mut serial, &program);
+        assert!(is_snake_sorted(shape, &serial), "{ctx} {label}: serial");
+        assert_eq!(
+            read_snake_order(shape, &serial),
+            oracle,
+            "{ctx} {label}: serial vs std oracle"
+        );
+
+        // Parallel executor, raw and optimized programs.
+        for (name, prog) in [("program", &program), ("optimized", &optimized)] {
+            let mut par = input.clone();
+            bsp.run_parallel(&mut par, prog);
+            assert_eq!(par, serial, "{ctx} {label}: run_parallel on {name}");
+            let mut ser2 = input.clone();
+            bsp.run(&mut ser2, prog);
+            assert_eq!(ser2, serial, "{ctx} {label}: serial run on {name}");
+        }
+
+        // Executed engine (real comparator programs + real routing).
+        let mut exec = input.clone();
+        let mut engine = ExecutedEngine::new(factor, shape, sorter);
+        let _ = network_sort(shape, &mut exec, &mut engine);
+        assert_eq!(exec, serial, "{ctx} {label}: executed engine");
+
+        // Charged engine (instant data ops — same data trajectory).
+        let mut charged = input.clone();
+        let mut engine = ChargedEngine::new(CostModel::custom("unit", 1, 1));
+        let _ = network_sort(shape, &mut charged, &mut engine);
+        assert_eq!(charged, serial, "{ctx} {label}: charged engine");
+
+        serials.push(serial);
+    }
+
+    // Batched executor: the whole input bank as one batch, raw and
+    // optimized programs.
+    for (name, prog) in [("program", &program), ("optimized", &optimized)] {
+        let mut batch: Vec<Vec<u64>> = bank.iter().map(|(_, input)| input.clone()).collect();
+        bsp.run_batch(&mut batch, prog);
+        for ((label, _), (got, want)) in bank.iter().zip(batch.iter().zip(&serials)) {
+            assert_eq!(got, want, "{ctx} {label}: run_batch on {name}");
+        }
+    }
+}
+
+#[test]
+fn differential_paths() {
+    differential_case(&factories::path(4), 2, &ShearSorter);
+    differential_case(&factories::path(4), 3, &ShearSorter);
+    differential_case(&factories::path(3), 4, &ShearSorter);
+}
+
+#[test]
+fn differential_cycles() {
+    // Cycles carry the path edges 0–1–…–(n−1), so shearsort programs
+    // compiled against consecutive labels stay edge-aligned.
+    differential_case(&factories::cycle(5), 2, &ShearSorter);
+    differential_case(&factories::cycle(4), 3, &ShearSorter);
+}
+
+#[test]
+fn differential_hypercubes() {
+    differential_case(&factories::k2(), 2, &Hypercube2Sorter);
+    differential_case(&factories::k2(), 3, &Hypercube2Sorter);
+    differential_case(&factories::k2(), 4, &Hypercube2Sorter);
+    // Past the PAR_THRESHOLD so run_parallel takes the rayon path.
+    differential_case(&factories::k2(), 8, &Hypercube2Sorter);
+}
+
+#[test]
+fn differential_petersen_square() {
+    let factor = Machine::prepare_factor(&factories::petersen());
+    differential_case(&factor, 2, &ShearSorter);
+}
+
+#[test]
+fn differential_de_bruijn() {
+    // Non-Hamiltonian-friendly labels: relay moves in play.
+    let factor = Machine::prepare_factor(&factories::de_bruijn(2));
+    differential_case(&factor, 2, &OetSnakeSorter);
+    differential_case(&factor, 3, &OetSnakeSorter);
+}
+
+#[test]
+fn differential_star_relays() {
+    // Star graphs force relay hops (no Hamiltonian path), the hardest
+    // case for the optimizer's move-chain reasoning.
+    differential_case(&factories::star(4), 2, &OetSnakeSorter);
+    differential_case(&factories::star(5), 2, &OetSnakeSorter);
+}

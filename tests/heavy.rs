@@ -39,7 +39,9 @@ fn executed_machines_at_scale() {
     // 16^3 = 4096 nodes with shearsort actually running in every PG_2.
     let factor = factories::path(16);
     let mut m = Machine::executed(&factor, 3, &ShearSorter);
-    let keys: Vec<u64> = (0..4096u64).map(|x| x.wrapping_mul(0x9E3779B97F4A7C15) >> 30).collect();
+    let keys: Vec<u64> = (0..4096u64)
+        .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15) >> 30)
+        .collect();
     let mut expect = keys.clone();
     expect.sort_unstable();
     let report = m.sort(keys).expect("4096 keys");
@@ -73,8 +75,7 @@ fn sample_sort_at_scale() {
         .collect();
     let mut expect = keys.clone();
     expect.sort_unstable();
-    let (sorted, outcome) =
-        sample_sort(&factor, 3, b, keys, 64, 5, &CostModel::paper_grid(8));
+    let (sorted, outcome) = sample_sort(&factor, 3, b, keys, 64, 5, &CostModel::paper_grid(8));
     assert_eq!(sorted, expect);
     assert!(outcome.max_load >= b);
 }

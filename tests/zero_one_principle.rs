@@ -72,6 +72,47 @@ fn executed_grid_sort_all_zero_one_inputs() {
 }
 
 #[test]
+fn bsp_hypercube_4_zero_one_sampled() {
+    // Tier-1 slice of the heavy sweep `bsp_hypercube_4_zero_one_exhaustive`
+    // (tests/heavy.rs): instead of all 2^16 masks of the 4-cube, a seeded
+    // sample of 4096 — deterministic, so failures reproduce — run through
+    // both the serial BSP machine and the deferred-action parallel
+    // executor. Structured corner masks are always included.
+    use product_sort::sim::bsp::{compile, BspMachine};
+
+    let factor = factories::k2();
+    let program = compile(&factor, 4, &Hypercube2Sorter);
+    let optimized = program.optimized();
+    let machine = BspMachine::new(&factor, 4);
+    let mut masks: Vec<u32> = vec![0, 0xFFFF, 0x5555, 0xAAAA, 0x00FF, 0xFF00, 0x0F0F, 0xF0F0];
+    let mut state: u64 = 0x5EED_2E01;
+    while masks.len() < 4096 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        masks.push((state >> 33) as u32 & 0xFFFF);
+    }
+    for mask in masks {
+        let input: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+        let zeros = input.iter().filter(|&&k| k == 0).count();
+        let mut serial = input.clone();
+        machine.run(&mut serial, &program);
+        assert!(
+            is_snake_sorted(machine.shape(), &serial),
+            "mask={mask:#06x}"
+        );
+        let seq = read_snake_order(machine.shape(), &serial);
+        assert!(seq[..zeros].iter().all(|&k| k == 0), "mask={mask:#06x}");
+        assert!(seq[zeros..].iter().all(|&k| k == 1), "mask={mask:#06x}");
+        for prog in [&program, &optimized] {
+            let mut par = input.clone();
+            machine.run_parallel(&mut par, prog);
+            assert_eq!(par, serial, "mask={mask:#06x}: parallel vs serial");
+        }
+    }
+}
+
+#[test]
 fn zero_one_outputs_have_the_right_zero_count() {
     // Beyond sortedness: the multiset must be preserved.
     let shape = Shape::new(3, 2);

@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`: same macro and builder surface,
+//! minimal measurement engine.
+//!
+//! Each benchmark runs a short warm-up, then adaptively picks an
+//! iteration count targeting ~200 ms of measurement, and reports the
+//! mean time per iteration on stdout. No statistics, plots, or saved
+//! baselines — just honest wall-clock numbers suitable for comparing
+//! alternatives in one run (e.g. serial vs batched executors).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, pick an iteration count targeting ~200 ms,
+    /// time it, and record the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time single iterations until 10 ms or
+        // 10 iterations, whichever comes first.
+        let mut one = Duration::ZERO;
+        let mut warm = 0u32;
+        let warm_start = Instant::now();
+        while warm < 10 && warm_start.elapsed() < Duration::from_millis(10) {
+            let t = Instant::now();
+            black_box(f());
+            one += t.elapsed();
+            warm += 1;
+        }
+        let per = (one / warm.max(1)).max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(200).as_nanos() / per.as_nanos()).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        println!("{}/{id}  time: {}", self.name, human(b.mean_ns));
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.id.clone();
+        self.run_one(&name, |b| f(b, input));
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<B: Into<BenchmarkId>, F>(&mut self, id: B, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id.clone(), |b| f(b));
+    }
+
+    /// Accepted for API compatibility; the stub has no sampling phases.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("# group {name}");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        println!("{name}  time: {}", human(b.mean_ns));
+        self
+    }
+}
+
+/// Declare a group-running function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main`, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("sort", 64).id, "sort/64");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same testing *shape* as upstream — the `proptest!` macro over
+//! `pattern in strategy` arguments, `prop_assert*`/`prop_assume`,
+//! strategy combinators (`prop_map`, `prop_filter`,
+//! `collection::vec`), `ProptestConfig::with_cases`, and
+//! `proptest-regressions` seed files — with a much simpler engine:
+//!
+//! * generation is a deterministic function of a per-test seed
+//!   (FNV of file path + test name + case index), so failures are
+//!   reproducible without any environment setup;
+//! * failing seeds are appended to
+//!   `tests/proptest-regressions/<file>.txt` as `cc <hex>` lines and
+//!   replayed first on subsequent runs (committed seed files keep
+//!   regressions pinned in CI);
+//! * there is **no shrinking** — the failure report prints the seed and
+//!   the assertion message instead.
+//!
+//! `PROPTEST_CASES` overrides the per-test case count.
+
+use std::fmt;
+use std::path::PathBuf;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy, TestRng};
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!`/`prop_filter` rejected the inputs; try other ones.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Per-test configuration (the subset upstream tests here use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this engine has no shrinking so each
+        // failure costs little, and the repo's tests run in debug CI —
+        // 64 keeps tier-1 fast while still exploring broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Locate `proptest-regressions/<stem>.txt` next to the test source.
+///
+/// `file!()` paths are relative to the workspace root while tests run
+/// with the *package* root as cwd, so try the path as-is first and fall
+/// back to resolving its `tests/…` suffix against the manifest dir.
+fn regression_path(source_file: &str, manifest_dir: &str) -> Option<PathBuf> {
+    let src = PathBuf::from(source_file);
+    let stem = src.file_stem()?.to_owned();
+    let sibling = |base: &std::path::Path| {
+        let mut p = base.to_path_buf();
+        p.push("proptest-regressions");
+        p.push(&stem);
+        p.set_extension("txt");
+        p
+    };
+    if let Some(parent) = src.parent() {
+        let direct = sibling(parent);
+        if direct.parent().is_some_and(std::path::Path::exists) {
+            return Some(direct);
+        }
+    }
+    // Resolve ".../tests/foo.rs" under the manifest dir.
+    let comps: Vec<&str> = source_file.split('/').collect();
+    let tests_at = comps.iter().rposition(|c| *c == "tests")?;
+    let mut p = PathBuf::from(manifest_dir);
+    for c in &comps[tests_at..comps.len() - 1] {
+        p.push(c);
+    }
+    Some(sibling(&p))
+}
+
+fn load_seeds(path: &std::path::Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next()?.trim();
+            let hex = line.strip_prefix("cc ")?.trim();
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_seed(path: &std::path::Path, test_name: &str, seed: u64) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Seeds for failure cases found by the vendored proptest stand-in.\n\
+         # Each line is `cc <hex seed>`; committed lines are replayed first\n\
+         # on every run. This file is safe to commit.\n"
+            .to_owned()
+    });
+    text.push_str(&format!("cc {seed:016x} # {test_name}\n"));
+    let _ = std::fs::write(path, text);
+}
+
+/// Drive one property test. Called by the [`proptest!`] expansion; not
+/// part of the public API contract.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) when a case fails or when
+/// too many inputs are rejected.
+pub fn run_proptest<S: Strategy>(
+    source_file: &str,
+    manifest_dir: &str,
+    test_name: &str,
+    config: &ProptestConfig,
+    strat: &S,
+    f: &mut dyn FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = fnv64(source_file.as_bytes()) ^ fnv64(test_name.as_bytes()).rotate_left(17);
+    let reg_path = regression_path(source_file, manifest_dir);
+
+    let mut run_seed = |seed: u64, persist: bool| {
+        let mut rng = TestRng::new(seed);
+        let Some(input) = strat.generate(&mut rng) else {
+            return true; // generation rejected; does not consume a case
+        };
+        match f(input) {
+            Ok(()) => false,
+            Err(TestCaseError::Reject(_)) => true,
+            Err(TestCaseError::Fail(msg)) => {
+                if persist {
+                    if let Some(p) = &reg_path {
+                        persist_seed(p, test_name, seed);
+                    }
+                }
+                panic!(
+                    "proptest stand-in: test `{test_name}` failed \
+                     (seed cc {seed:016x}, replayable via \
+                     {}): {msg}",
+                    reg_path
+                        .as_deref()
+                        .map_or_else(|| "regression file".into(), |p| p.display().to_string()),
+                );
+            }
+        }
+    };
+
+    // Replay persisted regression seeds first.
+    if let Some(p) = &reg_path {
+        for seed in load_seeds(p) {
+            let _ = run_seed(seed, false);
+        }
+    }
+
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(cases) * 64;
+    while accepted < cases {
+        assert!(
+            attempts < max_attempts,
+            "proptest stand-in: test `{test_name}` rejected too many inputs \
+             ({attempts} attempts for {cases} cases) — loosen the filter/assume"
+        );
+        let seed = base ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let rejected = run_seed(seed, true);
+        attempts += 1;
+        if !rejected {
+            accepted += 1;
+        }
+    }
+}
+
+/// Assert inside a property (records a case failure instead of panicking
+/// mid-case, as upstream does).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_owned()));
+        }
+    };
+}
+
+/// Define property tests over strategies; see the crate docs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is
+/// peeled off first so it sits at repetition depth 0 here.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strat = ($($strat,)+);
+                $crate::run_proptest(
+                    file!(),
+                    env!("CARGO_MANIFEST_DIR"),
+                    stringify!($name),
+                    &config,
+                    &strat,
+                    &mut |($($pat,)+)| { $body Ok(()) },
+                );
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` test expects in scope.
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, TestCaseError,
+    };
+}

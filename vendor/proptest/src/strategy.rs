@@ -1,0 +1,255 @@
+//! Value-generation strategies for the proptest stand-in.
+//!
+//! A [`Strategy`] produces a value from a seeded [`TestRng`], or `None`
+//! when a filter rejects the draw (the runner retries with a fresh seed
+//! without consuming a test case). There is no shrinking: strategies
+//! are pure generators.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator (SplitMix64): every case is a pure function
+/// of its seed, which is what the regression files record.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        // Modulo bias is ≤ bound/2^64 — irrelevant for test generation.
+        self.next_u64() % bound
+    }
+}
+
+/// How many consecutive `None`s a nested strategy tolerates before
+/// giving up and propagating the rejection outward.
+const LOCAL_RETRIES: usize = 32;
+
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value, or `None` if a filter rejected this draw.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard values failing `pred`. `_whence` is a label kept for
+    /// upstream signature compatibility; rejections are retried by the
+    /// runner, which reports if the filter is too tight.
+    fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: R,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Always produce a clone of `value` (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u128::from(u64::MAX) {
+                    // Only reachable for 128-bit-wide ranges; unused here.
+                    u128::from(rng.next_u64())
+                } else {
+                    u128::from(rng.below(span as u64))
+                };
+                Some((self.start as i128 + off as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = if span > u128::from(u64::MAX) {
+                    u128::from(rng.next_u64())
+                } else {
+                    u128::from(rng.below(span as u64))
+                };
+                Some((lo as i128 + off as i128) as $t)
+            }
+        }
+
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Full-domain strategy for `T` (upstream `any::<T>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                Some(($($s.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = (2usize..8).generate(&mut rng).unwrap();
+            assert!((2..8).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng).unwrap();
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = (0u64..1000).prop_map(|x| x * 2);
+        let a: Vec<u64> = (0..10)
+            .map(|_| strat.generate(&mut TestRng::new(7)).unwrap())
+            .collect();
+        assert!(a.iter().all(|&x| x == a[0]));
+    }
+
+    #[test]
+    fn filter_rejects_and_retries() {
+        let strat = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert_eq!(v % 2, 0);
+        }
+        // An unsatisfiable filter rejects rather than looping forever.
+        let never = (0u32..4).prop_filter("no", |_| false);
+        assert!(never.generate(&mut rng).is_none());
+    }
+}

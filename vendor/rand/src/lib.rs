@@ -1,0 +1,181 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build container has no network access, so the workspace vendors
+//! the exact API surface it consumes: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::random_range`] over integer
+//! ranges, and [`seq::SliceRandom::shuffle`]. The generator is
+//! xoshiro256** seeded via SplitMix64 — high-quality, deterministic, and
+//! dependency-free. It is **not** the upstream `StdRng` stream: seeds
+//! produce different (but equally well-distributed) sequences.
+
+/// Core generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the subset of the upstream trait we need).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::random_range` can sample from.
+pub trait SampleRange<T> {
+    /// Sample a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                // Lemire-style widening multiply; the tiny modulo bias of
+                // plain `% span` is irrelevant here, but this is just as
+                // cheap and exact enough for simulation workloads.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as u128;
+                (self.start as u128 + hi) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let span = (e as u128) - (s as u128) + 1;
+                let hi = (rng.next_u64() as u128 * span) >> 64;
+                (s as u128 + hi) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    //! Named generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for the upstream
+    /// `StdRng`; same quality class, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as xoshiro recommends.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Shuffle the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u64 = a.random_range(0..1000);
+            assert_eq!(x, b.random_range(0..1000));
+            assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+
+    #[test]
+    fn usize_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for `rayon`: the slice-oriented subset of the
+//! parallel-iterator API this workspace uses, implemented with
+//! `std::thread::scope` fork-join over contiguous chunks.
+//!
+//! Unlike a serial shim, this is **really parallel**: `map`/`for_each`
+//! split the input into one contiguous chunk per available core and run
+//! them on scoped OS threads. There is no work stealing — fine for the
+//! regular, evenly-sized rounds the simulator produces. `collect`
+//! preserves input order.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel operations.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Run `f` over order-preserving chunks of `items` on scoped threads and
+/// return the per-chunk outputs in input order.
+fn fork_join_chunks<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> Vec<R> + Sync,
+{
+    let chunk = items.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(|| f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-stub worker panicked"))
+            .collect()
+    })
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            self.items.iter().for_each(f);
+            return;
+        }
+        let _ = fork_join_chunks(self.items, threads, |chunk| {
+            chunk.iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+}
+
+/// The result of [`ParIter::map`], consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Collect mapped outputs, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let threads = current_num_threads();
+        let out: Vec<R> = if threads <= 1 || self.items.len() <= 1 {
+            self.items.iter().map(&self.f).collect()
+        } else {
+            fork_join_chunks(self.items, threads, |chunk| {
+                chunk.iter().map(&self.f).collect()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        C::from(out)
+    }
+
+    /// Apply the mapped function for its side effects only.
+    pub fn for_each<G, R>(self, g: G)
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        G: Fn(R) + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            self.items.iter().map(&self.f).for_each(g);
+            return;
+        }
+        let _ = fork_join_chunks(self.items, threads, |chunk| {
+            chunk.iter().map(&self.f).for_each(&g);
+            Vec::<()>::new()
+        });
+    }
+}
+
+/// Mutably borrowing parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element in parallel (disjoint `&mut` chunks).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            self.items.iter_mut().for_each(f);
+            return;
+        }
+        let chunk = self.items.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for c in self.items.chunks_mut(chunk) {
+                s.spawn(|| c.iter_mut().for_each(&f));
+            }
+        });
+    }
+}
+
+/// `.par_iter()` on slices (and anything that derefs to a slice).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.par_iter_mut()` on slices (and anything that derefs to a slice).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, as in upstream rayon.
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        let mut xs: Vec<u64> = vec![1; 5000];
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let xs: Vec<u32> = (0..1024).collect();
+        xs.par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let distinct = ids.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(distinct > 1, "expected work on more than one thread");
+        }
+    }
+}
