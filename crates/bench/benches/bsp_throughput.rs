@@ -74,6 +74,41 @@ fn bench_batched(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability tax on the batched hot path. `run_batch` with the
+/// default (disabled) logger must stay within noise of the seed's
+/// uninstrumented numbers — the disabled `EventLogger` is one branch,
+/// and the per-vector inner loops are not instrumented at all. The
+/// `memory_sink` variant shows the cost of actually enabling tracing
+/// (one `Validate` + one `BatchScheduled` event per batch).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    let factor = Machine::prepare_factor(&factories::petersen());
+    let r = 2;
+    let program = compile(&factor, r, &ShearSorter);
+    let batch: Vec<Vec<u64>> = (0..16).map(|s| random_keys(100, 23 + s)).collect();
+
+    let bsp = BspMachine::new(&factor, r);
+    group.bench_function("run_batch_disabled_logger", |b| {
+        b.iter(|| {
+            let mut batch = batch.clone();
+            black_box(bsp.run_batch(&mut batch, &program));
+            black_box(batch)
+        });
+    });
+
+    let mut traced = BspMachine::new(&factor, r);
+    let (sink, _reader) = pns_obs::MemorySink::with_capacity(1 << 20);
+    traced.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
+    group.bench_function("run_batch_memory_sink", |b| {
+        b.iter(|| {
+            let mut batch = batch.clone();
+            black_box(traced.run_batch(&mut batch, &program));
+            black_box(batch)
+        });
+    });
+    group.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("program_cache");
     let factor = factories::k2();
@@ -89,5 +124,11 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_vector, bench_batched, bench_cache);
+criterion_group!(
+    benches,
+    bench_single_vector,
+    bench_batched,
+    bench_obs_overhead,
+    bench_cache
+);
 criterion_main!(benches);

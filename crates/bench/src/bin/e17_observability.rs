@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e17_observability report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::e17_observability::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

@@ -80,6 +80,20 @@ pub fn run() -> Report {
          PG_2-sort rounds and transposition rounds regardless of the input \
          distribution — the algorithm is oblivious.",
     );
+
+    // The same reconciliation as Counters renders it: one representative
+    // measured-vs-predicted table (work-like rows carry no prediction).
+    let shape = Shape::new(3, 4);
+    let mut rng = StdRng::seed_from_u64(99);
+    let keys: Vec<u64> = (0..shape.len())
+        .map(|_| rng.random_range(0..1000))
+        .collect();
+    let (_, counters) = multiway_merge_sort(&keys, 3, &StdBaseSorter);
+    let table = counters.versus_predicted(4).to_string();
+    report.check(!table.contains("MISMATCH"));
+    report.note(&format!(
+        "Representative table for N=3, r=4 (`Counters::versus_predicted`):\n\n```\n{table}\n```"
+    ));
     report
 }
 

@@ -15,6 +15,7 @@
 //! informational — they depend on the host — and are recorded in
 //! EXPERIMENTS.md for one reference machine.
 
+use crate::report::obs_logger;
 use crate::Report;
 use pns_graph::factories;
 use pns_simulator::bsp::BspMachine;
@@ -69,9 +70,14 @@ pub fn run() -> Report {
         ),
         (factories::star(4), 2, &OetSnakeSorter),
     ];
+    // PNS_OBS=jsonl[:path] | summary | off selects the tracing sink.
+    let logger = obs_logger("e16_throughput");
+    let mut cache_lines = Vec::new();
     for (factor, r, sorter) in cases {
-        let cache = ProgramCache::new();
+        let mut cache = ProgramCache::new();
+        cache.attach_logger(logger.clone());
         let mut machine = Machine::compiled(&factor, r, sorter, &cache);
+        machine.attach_logger(logger.clone());
         let shape = machine.shape();
         let len = shape.len();
         let bsp = BspMachine::new(&factor, r);
@@ -100,9 +106,13 @@ pub fn run() -> Report {
         });
 
         // Claim 2: the second machine is a pure cache hit.
-        let (h0, m0) = (cache.hits(), cache.misses());
+        let before = cache.stats();
         let mut again = Machine::compiled(&factor, r, sorter, &cache);
-        let cache_ok = cache.hits() == h0 + 1 && cache.misses() == m0;
+        again.attach_logger(logger.clone());
+        let after = cache.stats();
+        let cache_ok = after.hits == before.hits + 1
+            && after.misses == before.misses
+            && after.entries == before.entries;
         let again_out = again.sort(batch[0].clone()).expect("length ok");
         let cached_identical = again_out.keys == serial[0];
 
@@ -148,12 +158,15 @@ pub fn run() -> Report {
             optimized.rounds().to_string(),
             program.op_count().to_string(),
             optimized.op_count().to_string(),
-            format!("{}/{}", cache.hits(), cache.misses()),
+            format!("{}/{}", cache.stats().hits, cache.stats().misses),
             format!("{:.0}", total_keys / serial_ms),
             format!("{:.0}", total_keys / batch_ms),
             ok.to_string(),
         ]);
+        cache_lines.push(format!("{}: {}", factor.name(), cache.stats()));
     }
+    logger.finish();
+    report.note(&format!("Final cache state — {}.", cache_lines.join("; ")));
     report.note(&format!(
         "Batch size {BATCH}; throughput columns are wall-clock and \
          host-dependent (everything else is deterministic). The cache \

@@ -29,6 +29,7 @@ pub mod experiments {
     pub mod e14_bsp;
     pub mod e15_randomized;
     pub mod e16_throughput;
+    pub mod e17_observability;
 }
 
 pub use report::Report;
@@ -57,6 +58,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e14_bsp", e14_bsp::run),
         ("e15_randomized", e15_randomized::run),
         ("e16_throughput", e16_throughput::run),
+        ("e17_observability", e17_observability::run),
         ("a01_labeling", a01_labeling::run),
         ("a02_pg2_sorter", a02_pg2_sorter::run),
         ("a03_sorting_network", a03_sorting_network::run),

@@ -80,6 +80,18 @@ impl Report {
     }
 }
 
+/// The experiment-harness event logger, configured by the `PNS_OBS`
+/// environment variable (`jsonl[:path]` appends machine-readable events
+/// to a file, `summary` prints an aggregate table to stderr on finish,
+/// anything else disables tracing at zero cost). `label` titles the
+/// summary output; experiments pass their id. Call
+/// [`pns_obs::EventLogger::finish`] when the experiment is done so
+/// buffered events reach the sink.
+#[must_use]
+pub fn obs_logger(label: &str) -> pns_obs::EventLogger {
+    pns_obs::EventLogger::from_env(label)
+}
+
 /// Render one or more `(x, y)` series as a fixed-width ASCII chart —
 /// the "figure" companion to the experiment tables. Each series gets a
 /// distinct glyph; the y-axis is linearly scaled to the data range.

@@ -75,6 +75,83 @@ impl Counters {
     pub fn charged_time(&self, s2: u64, route: u64) -> u64 {
         self.s2_units * s2 + self.route_units * route
     }
+
+    /// A displayable table putting these measured counters next to the
+    /// Theorem 1 predictions for a full sort of `N^r` keys: `(r-1)²`
+    /// `S2` units and `(r-1)(r-2)` routing units.
+    #[must_use]
+    pub fn versus_predicted(&self, r: usize) -> CountersVsPredicted {
+        CountersVsPredicted { counters: *self, r }
+    }
+}
+
+impl std::fmt::Display for Counters {
+    /// Aligned two-column table of the measured units.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<20} {:>10}", "counter", "measured")?;
+        writeln!(f, "{:<20} {:>10}", "s2 units", self.s2_units)?;
+        writeln!(f, "{:<20} {:>10}", "route units", self.route_units)?;
+        writeln!(f, "{:<20} {:>10}", "base sorts", self.base_sorts)?;
+        writeln!(
+            f,
+            "{:<20} {:>10}",
+            "compare-exchanges", self.compare_exchanges
+        )?;
+        write!(f, "{:<20} {:>10}", "merges", self.merges)
+    }
+}
+
+/// [`Counters`] next to the closed-form predictions, as built by
+/// [`Counters::versus_predicted`]. Time-like units carry a Theorem 1
+/// prediction; work-like units have none (the theorems do not bound
+/// them) and show `-`.
+#[derive(Debug, Clone, Copy)]
+pub struct CountersVsPredicted {
+    counters: Counters,
+    r: usize,
+}
+
+impl std::fmt::Display for CountersVsPredicted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.counters;
+        let pred_s2 = crate::sort::predicted_s2_units(self.r);
+        let pred_route = crate::sort::predicted_route_units(self.r);
+        let mark = |measured: u64, predicted: u64| {
+            if measured == predicted {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        };
+        writeln!(
+            f,
+            "{:<20} {:>10} {:>10}   (Theorem 1, r = {})",
+            "counter", "measured", "predicted", self.r
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:>10} {:>10}   {}",
+            "s2 units",
+            c.s2_units,
+            pred_s2,
+            mark(c.s2_units, pred_s2)
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:>10} {:>10}   {}",
+            "route units",
+            c.route_units,
+            pred_route,
+            mark(c.route_units, pred_route)
+        )?;
+        writeln!(f, "{:<20} {:>10} {:>10}", "base sorts", c.base_sorts, "-")?;
+        writeln!(
+            f,
+            "{:<20} {:>10} {:>10}",
+            "compare-exchanges", c.compare_exchanges, "-"
+        )?;
+        write!(f, "{:<20} {:>10} {:>10}", "merges", c.merges, "-")
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +195,39 @@ mod tests {
             ..Counters::default()
         };
         assert_eq!(c.charged_time(10, 3), 46);
+    }
+
+    #[test]
+    fn display_is_an_aligned_table() {
+        let shown = sample(3).to_string();
+        let lines: Vec<&str> = shown.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].contains("s2 units"));
+        assert!(lines[1].trim_end().ends_with('3'));
+        // Columns align: every row is the same width.
+        let widths: Vec<usize> = lines.iter().map(|l| l.trim_end().len()).collect();
+        assert!(widths.iter().all(|&w| w == widths[0]), "{shown}");
+    }
+
+    #[test]
+    fn versus_predicted_marks_matches_and_mismatches() {
+        // r = 4: Theorem 1 predicts 9 S2 units and 6 routing units.
+        let good = Counters {
+            s2_units: 9,
+            route_units: 6,
+            ..Counters::default()
+        };
+        let shown = good.versus_predicted(4).to_string();
+        assert!(shown.contains("r = 4"), "{shown}");
+        assert!(!shown.contains("MISMATCH"), "{shown}");
+        assert_eq!(shown.matches("ok").count(), 2, "{shown}");
+
+        let bad = Counters {
+            s2_units: 8,
+            route_units: 6,
+            ..Counters::default()
+        };
+        let shown = bad.versus_predicted(4).to_string();
+        assert!(shown.contains("MISMATCH"), "{shown}");
     }
 }

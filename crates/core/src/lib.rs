@@ -28,9 +28,11 @@ pub mod sort;
 pub mod trace;
 pub mod zero_one;
 
-pub use counters::Counters;
+pub use counters::{Counters, CountersVsPredicted};
 pub use dirty::{dirty_window, is_sorted};
-pub use merge::{multiway_merge, BaseSorter, StdBaseSorter};
+pub use merge::{
+    check_inputs, multiway_merge, multiway_merge_logged, BaseSorter, MergeInputError, StdBaseSorter,
+};
 pub use netbuild::{multiway_merge_sort_program, BaseNetwork, OetBase, SortingProgram};
 pub use sort::{multiway_merge_sort, predicted_route_units, predicted_s2_units};
-pub use trace::{multiway_merge_traced, MergeTrace};
+pub use trace::{multiway_merge_traced, try_multiway_merge_traced, MergeTrace};

@@ -22,7 +22,9 @@
 //! single `N²`-key sort) is Lemma 3's initial condition `M_2 = S2`.
 
 use crate::counters::Counters;
+use pns_obs::{Event, EventLogger};
 use pns_order::{positions_of_dim1_digit, Direction};
+use std::fmt;
 
 /// The sorter for `N²` keys that Section 3 assumes available.
 ///
@@ -77,6 +79,36 @@ pub fn multiway_merge<K: Ord + Clone, S: BaseSorter<K>>(
     sorter: &S,
     counters: &mut Counters,
 ) -> Vec<K> {
+    multiway_merge_logged(inputs, sorter, counters, &EventLogger::disabled())
+}
+
+/// As [`multiway_merge`], additionally emitting one `MergePhase` event
+/// per completed paper step (1 distribute, 2 merge columns, 3
+/// interleave, 4 clean) into `logger`, tagged with the recursion depth
+/// (0 = outermost merge). The base case (`m = N`, a single `N²`-key
+/// sort) performs no steps and emits nothing. A disabled logger makes
+/// this identical to [`multiway_merge`] at one branch per phase.
+///
+/// # Panics
+///
+/// As [`multiway_merge`].
+#[must_use]
+pub fn multiway_merge_logged<K: Ord + Clone, S: BaseSorter<K>>(
+    inputs: &[Vec<K>],
+    sorter: &S,
+    counters: &mut Counters,
+    logger: &EventLogger,
+) -> Vec<K> {
+    merge_at_depth(inputs, sorter, counters, logger, 0)
+}
+
+fn merge_at_depth<K: Ord + Clone, S: BaseSorter<K>>(
+    inputs: &[Vec<K>],
+    sorter: &S,
+    counters: &mut Counters,
+    logger: &EventLogger,
+    depth: u64,
+) -> Vec<K> {
     validate_inputs(inputs);
     counters.merges += 1;
     let n = inputs.len();
@@ -90,8 +122,10 @@ pub fn multiway_merge<K: Ord + Clone, S: BaseSorter<K>>(
         counters.base_sorts += 1;
         return all;
     }
-    let d = steps_1_to_3(inputs, sorter, counters);
-    step_4(d, n, sorter, counters)
+    let d = steps_1_to_3_at_depth(inputs, sorter, counters, logger, depth);
+    let out = step_4(d, n, sorter, counters);
+    logger.log(|| Event::MergePhase { step: 4, depth });
+    out
 }
 
 /// Steps 1–3 only: distribute, recursively merge columns, interleave.
@@ -108,6 +142,16 @@ pub fn steps_1_to_3<K: Ord + Clone, S: BaseSorter<K>>(
     sorter: &S,
     counters: &mut Counters,
 ) -> Vec<K> {
+    steps_1_to_3_at_depth(inputs, sorter, counters, &EventLogger::disabled(), 0)
+}
+
+fn steps_1_to_3_at_depth<K: Ord + Clone, S: BaseSorter<K>>(
+    inputs: &[Vec<K>],
+    sorter: &S,
+    counters: &mut Counters,
+    logger: &EventLogger,
+    depth: u64,
+) -> Vec<K> {
     validate_inputs(inputs);
     let n = inputs.len();
     let m = inputs[0].len();
@@ -115,6 +159,7 @@ pub fn steps_1_to_3<K: Ord + Clone, S: BaseSorter<K>>(
 
     // Step 1: distribute each A_u into subsequences B_{u,v}.
     let b = distribute(inputs);
+    logger.log(|| Event::MergePhase { step: 1, depth });
 
     // Step 2: merge column v = { B_{u,v} | u } into C_v, for every v.
     // The columns run in parallel on the network: time-like counters take
@@ -125,13 +170,22 @@ pub fn steps_1_to_3<K: Ord + Clone, S: BaseSorter<K>>(
     for v in 0..n {
         let column: Vec<Vec<K>> = b.iter().map(|row| row[v].clone()).collect();
         let mut child = Counters::new();
-        c.push(multiway_merge(&column, sorter, &mut child));
+        c.push(merge_at_depth(
+            &column,
+            sorter,
+            &mut child,
+            logger,
+            depth + 1,
+        ));
         columns_cost = columns_cost.alongside(child);
     }
     *counters = counters.then(columns_cost);
+    logger.log(|| Event::MergePhase { step: 2, depth });
 
     // Step 3: interleave the C_v round-robin.
-    interleave(&c)
+    let d = interleave(&c);
+    logger.log(|| Event::MergePhase { step: 3, depth });
+    d
 }
 
 /// Step 1 as data: `B_{u,v}` = the `v`-th column of `A_u` written on an
@@ -239,20 +293,73 @@ pub fn step_4<K: Ord + Clone, S: BaseSorter<K>>(
     d
 }
 
-fn validate_inputs<K: Ord>(inputs: &[Vec<K>]) {
+/// Why a set of input sequences cannot be multiway-merged. Returned by
+/// [`check_inputs`]; the panicking entry points format it into their
+/// panic message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeInputError {
+    /// Fewer than two input sequences were given.
+    TooFewInputs {
+        /// How many sequences were given.
+        n: usize,
+    },
+    /// The input sequences do not all have the same length.
+    UnequalLengths,
+    /// The common sequence length is not a positive power of `N`.
+    NotPowerOfN {
+        /// The offending sequence length.
+        m: usize,
+        /// The number of sequences `N`.
+        n: usize,
+    },
+}
+
+impl fmt::Display for MergeInputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewInputs { .. } => write!(f, "need at least two sequences to merge"),
+            Self::UnequalLengths => write!(f, "all input sequences must have equal length"),
+            Self::NotPowerOfN { m, n } => {
+                write!(f, "sequence length {m} is not a positive power of N={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeInputError {}
+
+/// Check the structural preconditions of a multiway merge without
+/// panicking: at least two sequences, equal lengths, length a positive
+/// power of `N`. Sortedness is *not* checked here (the panicking entry
+/// points debug-assert it).
+///
+/// # Errors
+///
+/// Returns the first violated precondition.
+pub fn check_inputs<K>(inputs: &[Vec<K>]) -> Result<(), MergeInputError> {
     let n = inputs.len();
-    assert!(n >= 2, "need at least two sequences to merge");
+    if n < 2 {
+        return Err(MergeInputError::TooFewInputs { n });
+    }
     let m = inputs[0].len();
-    assert!(
-        inputs.iter().all(|a| a.len() == m),
-        "all input sequences must have equal length"
-    );
+    if inputs.iter().any(|a| a.len() != m) {
+        return Err(MergeInputError::UnequalLengths);
+    }
     // m must be a positive power of n.
     let mut p = n;
     while p < m {
         p *= n;
     }
-    assert_eq!(p, m, "sequence length {m} is not a positive power of N={n}");
+    if p != m {
+        return Err(MergeInputError::NotPowerOfN { m, n });
+    }
+    Ok(())
+}
+
+fn validate_inputs<K: Ord>(inputs: &[Vec<K>]) {
+    if let Err(e) = check_inputs(inputs) {
+        panic!("{e}");
+    }
     debug_assert!(
         inputs.iter().all(|a| a.windows(2).all(|w| w[0] <= w[1])),
         "inputs must be sorted nondecreasing"
@@ -381,6 +488,71 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn rejects_single_input() {
         let _ = merge_u32(&[vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn check_inputs_reports_each_precondition() {
+        assert_eq!(
+            check_inputs(&[vec![1u32, 2, 3]]),
+            Err(MergeInputError::TooFewInputs { n: 1 })
+        );
+        assert_eq!(
+            check_inputs(&[vec![1u32, 2, 3], vec![1, 2]]),
+            Err(MergeInputError::UnequalLengths)
+        );
+        assert_eq!(
+            check_inputs(&[vec![1u32, 2, 3, 4], vec![1, 2, 3, 4], vec![1, 2, 3, 4]]),
+            Err(MergeInputError::NotPowerOfN { m: 4, n: 3 })
+        );
+        assert_eq!(check_inputs(&[vec![1u32, 2], vec![3, 4]]), Ok(()));
+        assert_eq!(
+            MergeInputError::NotPowerOfN { m: 4, n: 3 }.to_string(),
+            "sequence length 4 is not a positive power of N=3"
+        );
+    }
+
+    #[test]
+    fn logged_merge_emits_phase_events_per_step_and_depth() {
+        use pns_obs::{Event, EventLogger, MemorySink};
+
+        // N = 2, k = 4: the outer merge (depth 0, m = 8) and both column
+        // merges (depth 1, m = 4 = N²) run all four steps; the depth-2
+        // merges hit the m = N base case and emit nothing.
+        let inputs: Vec<Vec<u64>> = (0..2)
+            .map(|u| (0..8u64).map(|i| i * 7 + u).collect())
+            .collect();
+        let (sink, reader) = MemorySink::with_capacity(256);
+        let logger = EventLogger::new(Box::new(sink));
+
+        let mut logged_c = Counters::new();
+        let logged = multiway_merge_logged(&inputs, &StdBaseSorter, &mut logged_c, &logger);
+        logger.flush();
+
+        let mut plain_c = Counters::new();
+        let plain = multiway_merge(&inputs, &StdBaseSorter, &mut plain_c);
+        assert_eq!(logged, plain);
+        assert_eq!(logged_c, plain_c);
+
+        let phases: Vec<(u64, u64)> = reader
+            .events()
+            .iter()
+            .filter_map(|te| match te.event {
+                Event::MergePhase { step, depth } => Some((step, depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases.len(), reader.len(), "only MergePhase events");
+        assert_eq!(phases.len(), 12, "{phases:?}");
+        for depth in 0..2u64 {
+            for step in 1..=4u64 {
+                let want = if depth == 0 { 1 } else { 2 };
+                let got = phases.iter().filter(|&&p| p == (step, depth)).count();
+                assert_eq!(got, want, "step {step} depth {depth}: {phases:?}");
+            }
+        }
+        // Steps complete in order within the outermost merge.
+        let outer: Vec<u64> = phases.iter().filter(|p| p.1 == 0).map(|p| p.0).collect();
+        assert_eq!(outer, vec![1, 2, 3, 4]);
     }
 
     #[test]

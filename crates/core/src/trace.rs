@@ -3,7 +3,9 @@
 //! paper's 27-key worked example of Figs. 12–15 state by state.
 
 use crate::counters::Counters;
-use crate::merge::{distribute, interleave, multiway_merge, BaseSorter};
+use crate::merge::{
+    check_inputs, distribute, interleave, multiway_merge, BaseSorter, MergeInputError,
+};
 use pns_order::Direction;
 
 /// Every intermediate state of a single (top-level) multiway merge.
@@ -40,20 +42,65 @@ pub struct MergeTrace<K> {
 /// accumulated into `counters` identically to
 /// [`multiway_merge`].
 ///
+/// For the base case `m = N` (where [`multiway_merge`] performs a single
+/// `N²`-key sort and Steps 1–4 never occur) the trace's intermediate
+/// vectors (`b` … `i_seqs`) are empty and only `a` and the sorted `s` are
+/// populated — mirroring what the algorithm actually did instead of
+/// panicking as earlier versions of this function used to.
+///
 /// # Panics
 ///
-/// As [`multiway_merge`]; additionally
-/// requires `m ≥ N²` so that all four steps actually occur.
+/// As [`multiway_merge`]. Use
+/// [`try_multiway_merge_traced`] for a panic-free variant.
 #[must_use]
 pub fn multiway_merge_traced<K: Ord + Clone, S: BaseSorter<K>>(
     inputs: &[Vec<K>],
     sorter: &S,
     counters: &mut Counters,
 ) -> MergeTrace<K> {
+    match try_multiway_merge_traced(inputs, sorter, counters) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// As [`multiway_merge_traced`], but reporting bad inputs as a
+/// [`MergeInputError`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns the first violated structural precondition (see
+/// [`check_inputs`]).
+pub fn try_multiway_merge_traced<K: Ord + Clone, S: BaseSorter<K>>(
+    inputs: &[Vec<K>],
+    sorter: &S,
+    counters: &mut Counters,
+) -> Result<MergeTrace<K>, MergeInputError> {
+    check_inputs(inputs)?;
     let n = inputs.len();
     let m = inputs[0].len();
-    assert!(m >= n * n, "traced merge requires m ≥ N²");
     counters.merges += 1;
+
+    if m == n {
+        // Base case, consistent with `multiway_merge`: one N²-key sort.
+        // Steps 1–4 never run, so the intermediate states are empty.
+        let mut s: Vec<K> = inputs.iter().flatten().cloned().collect();
+        sorter.sort(&mut s, Direction::Ascending);
+        counters.s2_units += 1;
+        counters.base_sorts += 1;
+        return Ok(MergeTrace {
+            a: inputs.to_vec(),
+            b: Vec::new(),
+            c: Vec::new(),
+            d: Vec::new(),
+            e: Vec::new(),
+            f: Vec::new(),
+            g: Vec::new(),
+            h: Vec::new(),
+            i_seqs: Vec::new(),
+            s,
+        });
+    }
 
     // Step 1.
     let b = distribute(inputs);
@@ -117,7 +164,7 @@ pub fn multiway_merge_traced<K: Ord + Clone, S: BaseSorter<K>>(
         }
     }
 
-    MergeTrace {
+    Ok(MergeTrace {
         a: inputs.to_vec(),
         b,
         c,
@@ -128,7 +175,7 @@ pub fn multiway_merge_traced<K: Ord + Clone, S: BaseSorter<K>>(
         h,
         i_seqs,
         s,
-    }
+    })
 }
 
 /// One element-wise odd-even transposition round over a slice of blocks:
@@ -236,6 +283,54 @@ mod tests {
         let plain = multiway_merge(&inputs, &StdBaseSorter, &mut c2);
         assert_eq!(traced.s, plain);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn base_case_traces_gracefully_instead_of_panicking() {
+        // m = N: multiway_merge does a single N²-key sort, and the trace
+        // now mirrors that instead of asserting m ≥ N².
+        let inputs = vec![vec![2u32, 9, 11], vec![1, 4, 30], vec![0, 0, 5]];
+        let mut c1 = Counters::new();
+        let t = multiway_merge_traced(&inputs, &StdBaseSorter, &mut c1);
+        let mut c2 = Counters::new();
+        let plain = multiway_merge(&inputs, &StdBaseSorter, &mut c2);
+        assert_eq!(t.s, plain);
+        assert_eq!(t.s, vec![0, 0, 1, 2, 4, 5, 9, 11, 30]);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.s2_units, 1);
+        assert_eq!(c1.base_sorts, 1);
+        assert_eq!(c1.merges, 1);
+        assert!(t.b.is_empty());
+        assert!(t.c.is_empty());
+        assert!(t.d.is_empty());
+        assert!(t.i_seqs.is_empty());
+        assert_eq!(t.a, inputs);
+    }
+
+    #[test]
+    fn try_variant_reports_errors_and_succeeds_on_both_paths() {
+        let mut c = Counters::new();
+        // Error path: ragged inputs.
+        let err =
+            try_multiway_merge_traced(&[vec![1u32, 2, 3], vec![1, 2]], &StdBaseSorter, &mut c)
+                .unwrap_err();
+        assert_eq!(err, MergeInputError::UnequalLengths);
+        assert_eq!(c, Counters::new(), "no cost charged on rejected inputs");
+
+        // Base-case path.
+        let base = try_multiway_merge_traced(&[vec![1u32, 2], vec![0, 3]], &StdBaseSorter, &mut c)
+            .unwrap();
+        assert_eq!(base.s, vec![0, 1, 2, 3]);
+
+        // Full four-step path.
+        let inputs: Vec<Vec<u32>> = (0..3)
+            .map(|u| (0..9).map(|i| i * 3 + u).collect())
+            .collect();
+        let mut c2 = Counters::new();
+        let full = try_multiway_merge_traced(&inputs, &StdBaseSorter, &mut c2).unwrap();
+        assert!(!full.b.is_empty());
+        assert!(full.s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(c2.s2_units, 3);
     }
 
     #[test]

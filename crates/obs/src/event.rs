@@ -1,0 +1,213 @@
+//! The event taxonomy: every observable moment of the sorting stack,
+//! as a typed enum.
+//!
+//! Events are deliberately *flat* (only `u64`/`bool` fields) so that any
+//! sink can serialize them without pulling in the types of the layers
+//! that emit them. The taxonomy spans all execution layers:
+//!
+//! * **BSP executor** ([`Event::RoundStart`], [`Event::RoundEnd`],
+//!   [`Event::Validate`], [`Event::BatchScheduled`]) — emitted by
+//!   `pns-simulator`'s `BspMachine` per synchronous round, per static
+//!   validation, and per batch dispatch.
+//! * **Logical engines** ([`Event::S2Unit`], [`Event::RouteUnit`]) —
+//!   emitted once per charged unit, i.e. exactly when the algorithm's
+//!   `Counters` increment `s2_units`/`route_units`. Summing the `units`
+//!   fields of a run's stream therefore reproduces the run's `Counters`
+//!   totals (see `ObsSummary`).
+//! * **Merge engine** ([`Event::MergePhase`]) — emitted by
+//!   `pns-core::merge` once per Step 1–4 of each multiway merge, with
+//!   the recursion depth.
+//! * **Program cache** ([`Event::CacheLookup`]) — one per lookup, with
+//!   the structural fingerprint of the requested program.
+
+use serde::{Deserialize, Serialize};
+
+/// One typed observation. See the module docs for who emits what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A synchronous BSP round is about to execute.
+    RoundStart {
+        /// Round index within the compiled program (0-based, monotone).
+        round: u64,
+        /// Operations in the round.
+        ops: u64,
+        /// Whether the round runs on the intra-round parallel path.
+        parallel: bool,
+    },
+    /// The matching end of a [`Event::RoundStart`] (same `round`).
+    RoundEnd {
+        /// Round index, equal to the opening `RoundStart`'s.
+        round: u64,
+    },
+    /// One step (1–4) of a multiway merge completed.
+    MergePhase {
+        /// Paper step number: 1 distribute, 2 merge columns,
+        /// 3 interleave, 4 clean.
+        step: u64,
+        /// Recursion depth of the merge (0 = outermost).
+        depth: u64,
+    },
+    /// One `S2` unit was charged: a parallel round of `N²`-key base
+    /// sorts (the quantity Lemma 3 / Theorem 1 count).
+    S2Unit {
+        /// Units charged (1 per engine round; a compiled machine emits
+        /// its whole logical charge as one event).
+        units: u64,
+        /// Parallel `PG_2` instances covered by the round (0 when the
+        /// emitter aggregates, e.g. compiled machines).
+        width: u64,
+    },
+    /// One routing unit was charged: an odd-even transposition round
+    /// between `PG_2` subgraphs.
+    RouteUnit {
+        /// Units charged (see [`Event::S2Unit::units`]).
+        units: u64,
+        /// Compare-exchange pairs in the round (0 when aggregated).
+        width: u64,
+    },
+    /// A program-cache lookup resolved.
+    CacheLookup {
+        /// Served from cache (`true`) or compiled on miss (`false`).
+        hit: bool,
+        /// FNV-1a digest of the structural key (factor wiring, `r`,
+        /// sorter) — display identity only; the cache compares full
+        /// keys.
+        key_fingerprint: u64,
+    },
+    /// A batch of independent key vectors was scheduled onto the
+    /// batched executor.
+    BatchScheduled {
+        /// Vectors in the batch.
+        batch: u64,
+        /// Worker lanes available to spread the batch across.
+        lanes: u64,
+    },
+    /// A compiled program passed static validation; carries the
+    /// program's optimizer accounting so perf dashboards can read
+    /// savings without the program itself.
+    Validate {
+        /// Rounds in the validated program.
+        rounds: u64,
+        /// Compare-exchanges removed by the optimizer (0 for
+        /// unoptimized programs).
+        elided_cx: u64,
+        /// Rounds merged by disjoint-round fusion (0 for unoptimized
+        /// programs).
+        fused: u64,
+    },
+}
+
+impl Event {
+    /// The logical identity of the event: execution-strategy details
+    /// (the `parallel` flag, round widths) are normalized away, so that
+    /// serial and parallel executions of the same program compare equal
+    /// event by event. Timing lives outside the event
+    /// ([`crate::TimedEvent`]), so it is already excluded.
+    #[must_use]
+    pub fn logical(self) -> Event {
+        match self {
+            Event::RoundStart { round, ops, .. } => Event::RoundStart {
+                round,
+                ops,
+                parallel: false,
+            },
+            other => other,
+        }
+    }
+
+    /// Short kind tag, for grouping and display.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::MergePhase { .. } => "merge_phase",
+            Event::S2Unit { .. } => "s2_unit",
+            Event::RouteUnit { .. } => "route_unit",
+            Event::CacheLookup { .. } => "cache_lookup",
+            Event::BatchScheduled { .. } => "batch_scheduled",
+            Event::Validate { .. } => "validate",
+        }
+    }
+}
+
+/// An event plus the nanoseconds since its logger's epoch. Timestamps
+/// are monotone *per emitting thread* (buffers are per-thread); sinks
+/// may observe batches from different threads out of order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Nanoseconds since the logger's creation.
+    pub t_ns: u64,
+    /// The observation.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_view_normalizes_the_parallel_flag() {
+        let serial = Event::RoundStart {
+            round: 3,
+            ops: 10,
+            parallel: false,
+        };
+        let parallel = Event::RoundStart {
+            round: 3,
+            ops: 10,
+            parallel: true,
+        };
+        assert_ne!(serial, parallel);
+        assert_eq!(serial.logical(), parallel.logical());
+        let end = Event::RoundEnd { round: 3 };
+        assert_eq!(end.logical(), end);
+    }
+
+    #[test]
+    fn events_serialize_to_externally_tagged_json() {
+        let ev = TimedEvent {
+            t_ns: 42,
+            event: Event::CacheLookup {
+                hit: true,
+                key_fingerprint: 7,
+            },
+        };
+        let json = serde_json::to_string(&ev).expect("serialize");
+        assert!(json.contains("CacheLookup"), "{json}");
+        let back: TimedEvent = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            Event::RoundStart {
+                round: 0,
+                ops: 0,
+                parallel: false,
+            }
+            .kind(),
+            Event::RoundEnd { round: 0 }.kind(),
+            Event::MergePhase { step: 1, depth: 0 }.kind(),
+            Event::S2Unit { units: 1, width: 1 }.kind(),
+            Event::RouteUnit { units: 1, width: 1 }.kind(),
+            Event::CacheLookup {
+                hit: false,
+                key_fingerprint: 0,
+            }
+            .kind(),
+            Event::BatchScheduled { batch: 1, lanes: 1 }.kind(),
+            Event::Validate {
+                rounds: 0,
+                elided_cx: 0,
+                fused: 0,
+            }
+            .kind(),
+        ];
+        let mut dedup = kinds.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! `pns-obs` — typed event tracing and derived metrics for the product
+//! network sorting stack.
+//!
+//! The crate follows the timely-dataflow logging shape: a cheap,
+//! cloneable [`EventLogger`] handle stamps typed [`Event`]s, buffers
+//! them **per thread**, and drains whole batches into a pluggable
+//! [`Sink`]. A disabled logger costs one branch per call site and
+//! never constructs the event (the event expression lives in a closure
+//! that is skipped), so the instrumented hot paths in `pns-simulator`
+//! pay nothing when tracing is off.
+//!
+//! Layering: this crate depends only on `serde`/`serde_json` (for the
+//! JSONL sink); `pns-core` and `pns-simulator` depend on it and emit
+//! events, and `pns-bench` selects sinks via the `PNS_OBS` environment
+//! variable (`jsonl[:path]` | `summary` | `off`).
+//!
+//! The one cross-crate invariant worth stating here: summing the
+//! `units` fields of [`Event::S2Unit`] / [`Event::RouteUnit`] in a
+//! run's stream reproduces the run's `Counters::s2_units` /
+//! `Counters::route_units` exactly — emitters fire exactly where the
+//! counters increment. [`ObsSummary`] implements that sum; experiment
+//! E17 asserts the reconciliation end to end.
+
+pub mod event;
+pub mod logger;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{Event, TimedEvent};
+pub use logger::EventLogger;
+pub use metrics::{Histogram, ObsSummary};
+pub use sink::{
+    from_env, sink_from_directive, JsonlSink, MemoryReader, MemorySink, MultiSink, Sink,
+    SummarySink,
+};

@@ -1,0 +1,338 @@
+//! Pluggable event sinks: where drained event batches go.
+//!
+//! Three concrete sinks cover the three consumers:
+//!
+//! * [`MemorySink`] — a bounded in-memory ring, read back through a
+//!   [`MemoryReader`]; the test and assertion sink.
+//! * [`JsonlSink`] — one JSON object per line, appended to a file; the
+//!   machine-readable experiment sink (`obs.jsonl`).
+//! * [`SummarySink`] — aggregates the stream into an
+//!   [`ObsSummary`](crate::ObsSummary) and prints the table to stderr
+//!   when finished; the interactive sink.
+//!
+//! [`from_env`] selects a sink from the `PNS_OBS` environment variable
+//! (`jsonl[:path]`, `summary`, `off`), and [`MultiSink`] tees one
+//! stream into several sinks.
+
+use crate::event::TimedEvent;
+use crate::metrics::ObsSummary;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A destination for drained event batches. Batches arrive in emission
+/// order per thread; `finish` is called exactly once, when the logger
+/// is finished.
+pub trait Sink: Send {
+    /// Accept one drained batch.
+    fn record(&mut self, events: &[TimedEvent]);
+    /// Flush/close the destination. Default: nothing.
+    fn finish(&mut self) {}
+}
+
+/// Bounded in-memory ring of events; the oldest events are dropped once
+/// `capacity` is reached. Read through the paired [`MemoryReader`].
+pub struct MemorySink {
+    state: Arc<Mutex<RingState>>,
+}
+
+struct RingState {
+    events: VecDeque<TimedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Reading side of a [`MemorySink`]; clones share the same ring.
+#[derive(Clone)]
+pub struct MemoryReader {
+    state: Arc<Mutex<RingState>>,
+}
+
+impl MemorySink {
+    /// A ring holding at most `capacity` events, plus its reader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> (Self, MemoryReader) {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let state = Arc::new(Mutex::new(RingState {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }));
+        (
+            MemorySink {
+                state: Arc::clone(&state),
+            },
+            MemoryReader { state },
+        )
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, events: &[TimedEvent]) {
+        let mut state = self.state.lock().expect("ring lock");
+        for &ev in events {
+            if state.events.len() == state.capacity {
+                state.events.pop_front();
+                state.dropped += 1;
+            }
+            state.events.push_back(ev);
+        }
+    }
+}
+
+impl MemoryReader {
+    /// Snapshot of the retained events, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring lock is poisoned.
+    #[must_use]
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.state
+            .lock()
+            .expect("ring lock")
+            .events
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Number of retained events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("ring lock").events.len()
+    }
+
+    /// `true` iff no event is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring lock is poisoned.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("ring lock").dropped
+    }
+}
+
+/// One JSON object per event, one event per line, appended to a file.
+/// Append mode, so successive experiments in one process accumulate
+/// into the same log (each run can be delimited by its own events).
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Open (append/create) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be opened.
+    pub fn append(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(file),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, events: &[TimedEvent]) {
+        for ev in events {
+            if let Ok(line) = serde_json::to_string(ev) {
+                // Best-effort: an experiment must not die on a full disk.
+                let _ = writeln!(self.out, "{line}");
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Aggregates the stream into an [`ObsSummary`] and prints the summary
+/// table to stderr on finish.
+#[derive(Default)]
+pub struct SummarySink {
+    summary: ObsSummary,
+    label: String,
+}
+
+impl SummarySink {
+    /// A summary sink whose printed table is titled `label`.
+    #[must_use]
+    pub fn new(label: &str) -> Self {
+        SummarySink {
+            summary: ObsSummary::default(),
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl Sink for SummarySink {
+    fn record(&mut self, events: &[TimedEvent]) {
+        for ev in events {
+            self.summary.record(ev);
+        }
+    }
+
+    fn finish(&mut self) {
+        eprintln!("[pns-obs] {}\n{}", self.label, self.summary);
+    }
+}
+
+/// Tees one stream into several sinks.
+pub struct MultiSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// Combine `sinks` into one.
+    #[must_use]
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn record(&mut self, events: &[TimedEvent]) {
+        for sink in &mut self.sinks {
+            sink.record(events);
+        }
+    }
+
+    fn finish(&mut self) {
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+}
+
+/// Parse a `PNS_OBS`-style directive into a sink:
+///
+/// * `jsonl` — [`JsonlSink`] appending to `obs.jsonl`;
+/// * `jsonl:some/path.jsonl` — [`JsonlSink`] appending to that path;
+/// * `summary` — [`SummarySink`] printing to stderr, titled `label`;
+/// * `off`, empty, or unparseable — no sink (`None`).
+///
+/// A JSONL path that cannot be opened degrades to `None` rather than
+/// failing the run.
+#[must_use]
+pub fn sink_from_directive(directive: &str, label: &str) -> Option<Box<dyn Sink>> {
+    let directive = directive.trim();
+    if let Some(rest) = directive.strip_prefix("jsonl") {
+        let path = rest.strip_prefix(':').filter(|p| !p.is_empty());
+        let path = path.unwrap_or("obs.jsonl");
+        return match JsonlSink::append(path) {
+            Ok(sink) => Some(Box::new(sink)),
+            Err(err) => {
+                eprintln!("[pns-obs] cannot open {path}: {err}; tracing disabled");
+                None
+            }
+        };
+    }
+    if directive == "summary" {
+        return Some(Box::new(SummarySink::new(label)));
+    }
+    None
+}
+
+/// [`sink_from_directive`] applied to the `PNS_OBS` environment
+/// variable. Unset means `off`.
+#[must_use]
+pub fn from_env(label: &str) -> Option<Box<dyn Sink>> {
+    std::env::var("PNS_OBS")
+        .ok()
+        .and_then(|v| sink_from_directive(&v, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(t_ns: u64) -> TimedEvent {
+        TimedEvent {
+            t_ns,
+            event: Event::RoundEnd { round: t_ns },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let (mut sink, reader) = MemorySink::with_capacity(3);
+        sink.record(&[ev(0), ev(1), ev(2), ev(3), ev(4)]);
+        assert_eq!(reader.len(), 3);
+        assert_eq!(reader.dropped(), 2);
+        let kept: Vec<u64> = reader.events().iter().map(|e| e.t_ns).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert!(!reader.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("pns_obs_sink_test.jsonl");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = JsonlSink::append(path_str).expect("open");
+            sink.record(&[ev(1), ev(2)]);
+            sink.finish();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: TimedEvent = serde_json::from_str(line).expect("parse");
+            assert!(matches!(back.event, Event::RoundEnd { .. }));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let (ring_a, reader_a) = MemorySink::with_capacity(10);
+        let (ring_b, reader_b) = MemorySink::with_capacity(10);
+        let mut multi = MultiSink::new(vec![Box::new(ring_a), Box::new(ring_b)]);
+        multi.record(&[ev(7)]);
+        multi.finish();
+        assert_eq!(reader_a.len(), 1);
+        assert_eq!(reader_b.len(), 1);
+    }
+
+    #[test]
+    fn directives_parse() {
+        assert!(sink_from_directive("off", "t").is_none());
+        assert!(sink_from_directive("", "t").is_none());
+        assert!(sink_from_directive("nonsense", "t").is_none());
+        assert!(sink_from_directive("summary", "t").is_some());
+        let path = std::env::temp_dir().join("pns_obs_directive_test.jsonl");
+        let directive = format!("jsonl:{}", path.to_str().expect("utf-8"));
+        assert!(sink_from_directive(&directive, "t").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn summary_sink_finishes_without_panicking() {
+        let mut sink = SummarySink::new("test run");
+        sink.record(&[ev(1)]);
+        sink.finish();
+    }
+}

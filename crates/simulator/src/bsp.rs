@@ -23,6 +23,7 @@ use crate::engine::{Engine, Pg2Instance};
 use crate::netsort::network_sort;
 use crate::sorters::Pg2Sorter;
 use pns_graph::Graph;
+use pns_obs::{Event, EventLogger};
 use pns_order::radix::Shape;
 use pns_order::Direction;
 use std::collections::HashMap;
@@ -328,6 +329,7 @@ fn fuse_disjoint_rounds(rounds: Vec<BspRound>, stats: &mut ProgramStats) -> Vec<
 pub struct BspMachine {
     network: NetworkView,
     shape: Shape,
+    logger: EventLogger,
 }
 
 /// Adjacency view over the product network (rank-based, no edge lists).
@@ -371,6 +373,7 @@ impl BspMachine {
         BspMachine {
             network: NetworkView::new(factor, shape),
             shape,
+            logger: EventLogger::disabled(),
         }
     }
 
@@ -378,6 +381,15 @@ impl BspMachine {
     #[must_use]
     pub fn shape(&self) -> Shape {
         self.shape
+    }
+
+    /// Emit `RoundStart`/`RoundEnd` per executed round, `Validate` per
+    /// static validation, and `BatchScheduled` per batch dispatch into
+    /// `logger`. [`BspMachine::run_batch`]'s per-vector inner loops stay
+    /// uninstrumented (they are the throughput hot path; the batch-level
+    /// events carry their aggregate shape).
+    pub fn attach_logger(&mut self, logger: EventLogger) {
+        self.logger = logger;
     }
 
     /// Execute a compiled program on `keys` (one per node, by rank).
@@ -399,6 +411,11 @@ impl BspMachine {
         let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; n_nodes];
 
         for (ri, round) in program.rounds.iter().enumerate() {
+            self.logger.log(|| Event::RoundStart {
+                round: ri as u64,
+                ops: round.len() as u64,
+                parallel: false,
+            });
             // Per-round discipline tracking.
             let mut key_touched = vec![false; n_nodes];
             let mut slot_written: HashMap<(u64, u8), ()> = HashMap::new();
@@ -504,6 +521,7 @@ impl BspMachine {
                 *dst = Some(payload);
             }
             let _ = cleared;
+            self.logger.log(|| Event::RoundEnd { round: ri as u64 });
         }
         assert!(
             transit.iter().all(|t| t[0].is_none() && t[1].is_none()),
@@ -637,6 +655,14 @@ impl BspMachine {
             occupied.iter().all(|t| !t[0] && !t[1]),
             "transit values left in flight after the program ended"
         );
+        self.logger.log(|| {
+            let stats = program.stats();
+            Event::Validate {
+                rounds: program.rounds.len() as u64,
+                elided_cx: stats.compare_exchanges_elided,
+                fused: stats.rounds_fused,
+            }
+        });
     }
 
     /// Execute a compiled program with intra-round parallelism. The
@@ -661,8 +687,14 @@ impl BspMachine {
         self.validate(program);
         assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
         let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
-        for round in &program.rounds {
-            if round.len() < crate::engine::PAR_THRESHOLD {
+        for (ri, round) in program.rounds.iter().enumerate() {
+            let par = round.len() >= crate::engine::PAR_THRESHOLD;
+            self.logger.log(|| Event::RoundStart {
+                round: ri as u64,
+                ops: round.len() as u64,
+                parallel: par,
+            });
+            if !par {
                 exec_round_serial(keys, &mut transit, round);
             } else {
                 use rayon::prelude::*;
@@ -676,6 +708,7 @@ impl BspMachine {
                 };
                 commit_actions(actions, keys, &mut transit);
             }
+            self.logger.log(|| Event::RoundEnd { round: ri as u64 });
         }
         program.rounds.len() as u64
     }
@@ -701,6 +734,10 @@ impl BspMachine {
         for keys in batch.iter() {
             assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
         }
+        self.logger.log(|| Event::BatchScheduled {
+            batch: batch.len() as u64,
+            lanes: rayon::current_num_threads() as u64,
+        });
         if batch.len() <= 1 {
             for keys in batch.iter_mut() {
                 exec_program(keys, program);
@@ -1512,6 +1549,127 @@ mod tests {
             ],
         );
         machine.validate(&program);
+    }
+
+    /// Build a machine wired to an in-memory event ring.
+    fn traced_machine(factor: &Graph, r: usize) -> (BspMachine, pns_obs::MemoryReader) {
+        let (sink, reader) = pns_obs::MemorySink::with_capacity(1 << 16);
+        let mut machine = BspMachine::new(factor, r);
+        let logger = pns_obs::EventLogger::new(Box::new(sink));
+        machine.attach_logger(logger);
+        (machine, reader)
+    }
+
+    fn drain(machine: &BspMachine, reader: &pns_obs::MemoryReader) -> Vec<pns_obs::TimedEvent> {
+        machine.logger.flush();
+        reader.events()
+    }
+
+    #[test]
+    fn round_events_pair_up_and_are_monotone() {
+        let factor = factories::star(4);
+        let program = compile(&factor, 2, &OetSnakeSorter);
+        let (machine, reader) = traced_machine(&factor, 2);
+        let mut keys: Vec<u64> = (0..16).rev().collect();
+        machine.run(&mut keys, &program);
+        let events = drain(&machine, &reader);
+        assert_eq!(events.len(), 2 * program.rounds());
+        let mut open: Option<u64> = None;
+        let mut next_round = 0u64;
+        for ev in &events {
+            match ev.event {
+                Event::RoundStart { round, .. } => {
+                    assert!(open.is_none(), "RoundStart {round} inside an open round");
+                    assert_eq!(round, next_round, "round indices must be monotone");
+                    open = Some(round);
+                }
+                Event::RoundEnd { round } => {
+                    assert_eq!(open.take(), Some(round), "RoundEnd {round} without start");
+                    next_round += 1;
+                }
+                other => panic!("serial run emitted unexpected {other:?}"),
+            }
+        }
+        assert!(open.is_none(), "every RoundStart needs a matching RoundEnd");
+        assert_eq!(next_round as usize, program.rounds());
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_emit_identical_logical_round_events() {
+        // k2 r=8 has rounds above PAR_THRESHOLD, so the parallel path
+        // really engages and sets the `parallel` flag.
+        let factor = factories::k2();
+        let program = compile(&factor, 8, &Hypercube2Sorter);
+        let keys = lcg_keys(1 << 8, 7);
+
+        let (serial_machine, serial_reader) = traced_machine(&factor, 8);
+        let mut serial_keys = keys.clone();
+        serial_machine.run(&mut serial_keys, &program);
+        let serial = drain(&serial_machine, &serial_reader);
+
+        let (par_machine, par_reader) = traced_machine(&factor, 8);
+        let mut par_keys = keys;
+        par_machine.run_parallel(&mut par_keys, &program);
+        let parallel = drain(&par_machine, &par_reader);
+
+        // run_parallel validates first (one extra Validate event) and
+        // raises the `parallel` flag on big rounds; the *logical* round
+        // sequence must match the serial run's exactly.
+        let rounds_of = |events: &[pns_obs::TimedEvent]| -> Vec<Event> {
+            events
+                .iter()
+                .map(|e| e.event)
+                .filter(|e| matches!(e, Event::RoundStart { .. } | Event::RoundEnd { .. }))
+                .map(Event::logical)
+                .collect()
+        };
+        assert_eq!(rounds_of(&serial), rounds_of(&parallel));
+        assert!(
+            serial.iter().all(|e| e.event.logical() == e.event),
+            "serial round events must already be in logical form"
+        );
+        assert!(
+            parallel
+                .iter()
+                .any(|e| matches!(e.event, Event::RoundStart { parallel: true, .. })),
+            "expected at least one parallel round on the 8-cube"
+        );
+        assert_eq!(
+            parallel
+                .iter()
+                .filter(|e| matches!(e.event, Event::Validate { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn batches_emit_schedule_and_validate_events() {
+        let factor = factories::path(3);
+        let program = compile(&factor, 2, &OetSnakeSorter).optimized();
+        let (machine, reader) = traced_machine(&factor, 2);
+        let mut batch: Vec<Vec<u64>> = (0..5).map(|s| lcg_keys(9, s + 1)).collect();
+        machine.run_batch(&mut batch, &program);
+        let events = drain(&machine, &reader);
+        let stats = program.stats();
+        assert!(events.iter().any(|e| e.event
+            == Event::Validate {
+                rounds: program.rounds() as u64,
+                elided_cx: stats.compare_exchanges_elided,
+                fused: stats.rounds_fused,
+            }));
+        let scheduled: Vec<Event> = events
+            .iter()
+            .map(|e| e.event)
+            .filter(|e| matches!(e, Event::BatchScheduled { .. }))
+            .collect();
+        assert_eq!(
+            scheduled,
+            vec![Event::BatchScheduled {
+                batch: 5,
+                lanes: rayon::current_num_threads() as u64,
+            }]
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 use crate::bsp::{compile, CompiledProgram};
 use crate::sorters::Pg2Sorter;
 use pns_graph::Graph;
+use pns_obs::{Event, EventLogger};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -51,6 +53,30 @@ impl ProgramKey {
             optimized,
         }
     }
+
+    /// Compact digest of this key's structural identity (FNV-1a over
+    /// node count, dimensions, sorter name, and the normalized edge
+    /// set — `optimized` is excluded, so the digest names the topology,
+    /// not the compilation mode). Display/logging only: the cache
+    /// compares full keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&(self.n as u64).to_le_bytes());
+        eat(&(self.r as u64).to_le_bytes());
+        eat(self.sorter.as_bytes());
+        for &(a, b) in &self.edges {
+            eat(&a.to_le_bytes());
+            eat(&b.to_le_bytes());
+        }
+        h
+    }
 }
 
 fn normalized_edges(factor: &Graph) -> Vec<(u32, u32)> {
@@ -66,21 +92,49 @@ fn normalized_edges(factor: &Graph) -> Vec<(u32, u32)> {
 /// fingerprint collisions cannot cause wrong programs to be served.
 #[must_use]
 pub fn fingerprint(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    ProgramKey::new(factor, r, sorter, false).fingerprint()
+}
+
+/// Point-in-time snapshot of a [`ProgramCache`]'s accounting, for
+/// experiment tables and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+    /// Distinct programs held at snapshot time.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache, in `[0, 1]`
+    /// (0 when no request has been made).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
         }
-    };
-    eat(&(factor.n() as u64).to_le_bytes());
-    eat(&(r as u64).to_le_bytes());
-    eat(sorter.name().as_bytes());
-    for (a, b) in normalized_edges(factor) {
-        eat(&a.to_le_bytes());
-        eat(&b.to_le_bytes());
     }
-    h
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit), {} programs",
+            self.hits,
+            self.misses,
+            self.hit_ratio() * 100.0,
+            self.entries
+        )
+    }
 }
 
 /// Thread-safe cache of compiled programs with hit/miss accounting.
@@ -89,6 +143,7 @@ pub struct ProgramCache {
     programs: RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    logger: EventLogger,
 }
 
 impl ProgramCache {
@@ -96,6 +151,12 @@ impl ProgramCache {
     #[must_use]
     pub fn new() -> Self {
         ProgramCache::default()
+    }
+
+    /// Emit one `CacheLookup` event per lookup into `logger`, carrying
+    /// hit/miss and the key's structural fingerprint.
+    pub fn attach_logger(&mut self, logger: EventLogger) {
+        self.logger = logger;
     }
 
     /// The compiled program for `(factor, r, sorter)`, compiling on the
@@ -141,12 +202,20 @@ impl ProgramCache {
     ) -> Arc<CompiledProgram> {
         if let Some(hit) = self.programs.read().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.logger.log(|| Event::CacheLookup {
+                hit: true,
+                key_fingerprint: key.fingerprint(),
+            });
             return Arc::clone(hit);
         }
         // Compile outside the lock; a concurrent compile of the same key
         // wastes work but stays correct (last insert wins, same program).
         let program = Arc::new(build());
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.logger.log(|| Event::CacheLookup {
+            hit: false,
+            key_fingerprint: key.fingerprint(),
+        });
         self.programs
             .write()
             .expect("cache lock")
@@ -164,6 +233,20 @@ impl ProgramCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Consistent snapshot of the accounting, for tables and logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.len(),
+        }
     }
 
     /// Number of distinct programs held.
@@ -262,6 +345,56 @@ mod tests {
             fingerprint(&path, 2, &OetSnakeSorter),
             fingerprint(&factories::path(4), 2, &OetSnakeSorter),
             "fingerprint is a pure function of the structure"
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_and_display() {
+        let cache = ProgramCache::new();
+        let factor = factories::path(3);
+        let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
+        let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
+        let _ = cache.get_or_compile(&factor, 3, &ShearSorter);
+        let stats = cache.stats();
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                entries: 2
+            }
+        );
+        assert!((stats.hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        let shown = stats.to_string();
+        assert!(shown.contains("1 hits / 2 misses"), "{shown}");
+        assert!(shown.contains("2 programs"), "{shown}");
+        assert_eq!(ProgramCache::new().stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lookups_emit_cache_events_with_the_key_fingerprint() {
+        let (sink, reader) = pns_obs::MemorySink::with_capacity(16);
+        let mut cache = ProgramCache::new();
+        cache.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
+        let factor = factories::path(3);
+        let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
+        let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
+        // Cache lookups run on the caller's thread; drain its buffer.
+        cache.logger.flush();
+        let events: Vec<_> = reader.events().iter().map(|e| e.event).collect();
+        let fp = fingerprint(&factor, 2, &ShearSorter);
+        assert_eq!(
+            events,
+            vec![
+                pns_obs::Event::CacheLookup {
+                    hit: false,
+                    key_fingerprint: fp
+                },
+                pns_obs::Event::CacheLookup {
+                    hit: true,
+                    key_fingerprint: fp
+                },
+            ]
         );
     }
 

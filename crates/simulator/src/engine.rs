@@ -19,6 +19,7 @@
 use crate::cost::CostModel;
 use crate::sorters::{run_program, validate_program, Pg2Sorter, Round};
 use pns_graph::{route_compare_exchange, Graph};
+use pns_obs::{Event, EventLogger};
 use pns_order::radix::Shape;
 use pns_order::Direction;
 use rayon::prelude::*;
@@ -49,19 +50,31 @@ pub trait Engine<K: Ord + Clone + Send + Sync> {
 #[derive(Debug, Clone)]
 pub struct ChargedEngine {
     cost: CostModel,
+    logger: EventLogger,
 }
 
 impl ChargedEngine {
     /// Build a charged engine with the given cost model.
     #[must_use]
     pub fn new(cost: CostModel) -> Self {
-        ChargedEngine { cost }
+        ChargedEngine {
+            cost,
+            logger: EventLogger::disabled(),
+        }
     }
 
     /// The cost model in use.
     #[must_use]
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Emit one `S2Unit`/`RouteUnit` event per engine round into
+    /// `logger` — i.e. exactly where the algorithm's `Counters`
+    /// increment, so the event stream's unit sums equal the counter
+    /// totals.
+    pub fn attach_logger(&mut self, logger: EventLogger) {
+        self.logger = logger;
     }
 }
 
@@ -102,6 +115,10 @@ impl<K: Ord + Clone + Send + Sync> Engine<K> for ChargedEngine {
                 }
             }
         }
+        self.logger.log(|| Event::S2Unit {
+            units: 1,
+            width: subgraphs.len() as u64,
+        });
         self.cost.s2_steps
     }
 
@@ -112,6 +129,10 @@ impl<K: Ord + Clone + Send + Sync> Engine<K> for ChargedEngine {
                 keys.swap(a, b);
             }
         }
+        self.logger.log(|| Event::RouteUnit {
+            units: 1,
+            width: pairs.len() as u64,
+        });
         self.cost.route_steps
     }
 }
@@ -128,6 +149,7 @@ pub struct ExecutedEngine {
     /// Cache: set of factor-label pairs → routing cost.
     pattern_cache: HashMap<Vec<(u32, u32)>, u64>,
     sorter_name: &'static str,
+    logger: EventLogger,
 }
 
 impl ExecutedEngine {
@@ -150,6 +172,7 @@ impl ExecutedEngine {
             program_round_costs: Vec::new(),
             pattern_cache: HashMap::new(),
             sorter_name: sorter.name(),
+            logger: EventLogger::disabled(),
         };
         let costs: Vec<u64> = program
             .iter()
@@ -169,6 +192,13 @@ impl ExecutedEngine {
     #[must_use]
     pub fn sorter_name(&self) -> &'static str {
         self.sorter_name
+    }
+
+    /// Emit one `S2Unit`/`RouteUnit` event per engine round into
+    /// `logger` (same reconciliation contract as
+    /// [`ChargedEngine::attach_logger`]).
+    pub fn attach_logger(&mut self, logger: EventLogger) {
+        self.logger = logger;
     }
 
     /// Cost of one comparator round. Comparators run inside factor copies
@@ -256,6 +286,10 @@ impl<K: Ord + Clone + Send + Sync> Engine<K> for ExecutedEngine {
                 }
             }
         }
+        self.logger.log(|| Event::S2Unit {
+            units: 1,
+            width: subgraphs.len() as u64,
+        });
         self.program_round_costs.iter().sum()
     }
 
@@ -298,6 +332,10 @@ impl<K: Ord + Clone + Send + Sync> Engine<K> for ExecutedEngine {
         }
         // A synchronous round elapses even when this parity class happens
         // to be empty (Lemma 3 charges both transposition rounds).
+        self.logger.log(|| Event::RouteUnit {
+            units: 1,
+            width: pairs.len() as u64,
+        });
         steps.max(1)
     }
 }

@@ -39,7 +39,7 @@ pub mod verify;
 
 pub use block::{block_sort, BlockEngine, SortedBlock};
 pub use bsp::{compile, BspMachine, CompiledProgram, Op, ProgramStats};
-pub use cache::{fingerprint, ProgramCache, ProgramKey};
+pub use cache::{fingerprint, CacheStats, ProgramCache, ProgramKey};
 pub use cost::CostModel;
 pub use engine::{ChargedEngine, Engine, ExecutedEngine, Pg2Instance, PAR_THRESHOLD};
 pub use machine::{Machine, SortError, SortReport};

@@ -8,6 +8,7 @@ use crate::engine::{ChargedEngine, ExecutedEngine};
 use crate::netsort::{is_snake_sorted, network_sort, read_snake_order, NetSortOutcome};
 use crate::sorters::Pg2Sorter;
 use pns_graph::{Graph, LinearEmbedding};
+use pns_obs::{Event, EventLogger};
 use pns_order::radix::Shape;
 use std::fmt;
 use std::sync::Arc;
@@ -52,6 +53,7 @@ struct CompiledKind {
     counters: pns_core::Counters,
     /// Steps one `PG_2` sort round costs under the executed engine.
     s2_steps: u64,
+    logger: EventLogger,
 }
 
 impl CompiledKind {
@@ -66,6 +68,27 @@ impl CompiledKind {
             sort_steps: 0,
             oet_steps: 0,
         }
+    }
+
+    /// Emit the logical unit charge of `sorts` sorts through this
+    /// program as aggregated events. The logical sort/transposition
+    /// rounds do not survive lowering to BSP ops, so a compiled machine
+    /// cannot emit per-round unit events; instead the whole charge goes
+    /// out as one `S2Unit` and one `RouteUnit` with `width = 0`
+    /// (aggregated) — the stream's unit sums still equal the reported
+    /// `Counters` totals.
+    fn emit_units(&self, sorts: u64) {
+        if sorts == 0 {
+            return;
+        }
+        self.logger.log(|| Event::S2Unit {
+            units: self.counters.s2_units * sorts,
+            width: 0,
+        });
+        self.logger.log(|| Event::RouteUnit {
+            units: self.counters.route_units * sorts,
+            width: 0,
+        });
     }
 }
 
@@ -159,6 +182,7 @@ impl Machine {
                 program,
                 counters,
                 s2_steps,
+                logger: EventLogger::disabled(),
             }),
         }
     }
@@ -170,6 +194,23 @@ impl Machine {
         match &self.engine {
             EngineKind::Compiled(c) => Some(&c.program),
             _ => None,
+        }
+    }
+
+    /// Trace this machine's sorts into `logger`. Charged/executed
+    /// machines emit one `S2Unit`/`RouteUnit` event per logical engine
+    /// round; compiled machines emit `RoundStart`/`RoundEnd`/`Validate`/
+    /// `BatchScheduled` from the BSP executor plus one aggregated
+    /// `S2Unit`/`RouteUnit` pair per sort. Either way, the stream's
+    /// unit sums equal the `Counters` totals the sort reports.
+    pub fn attach_logger(&mut self, logger: EventLogger) {
+        match &mut self.engine {
+            EngineKind::Charged(e) => e.attach_logger(logger),
+            EngineKind::Executed(e) => e.attach_logger(logger),
+            EngineKind::Compiled(c) => {
+                c.bsp.attach_logger(logger.clone());
+                c.logger = logger;
+            }
         }
     }
 
@@ -265,6 +306,7 @@ impl Machine {
                     !checked || is_snake_sorted(shape, &keys),
                     "compiled program left keys unsorted"
                 );
+                c.emit_units(1);
                 c.outcome()
             }
         };
@@ -302,6 +344,10 @@ impl Machine {
             EngineKind::Compiled(c) => {
                 let mut batch = batch;
                 c.bsp.run_batch(&mut batch, &c.program);
+                // Every vector is charged the full logical unit cost, so
+                // the aggregated events cover the whole batch (= the sum
+                // of the returned reports' counters).
+                c.emit_units(batch.len() as u64);
                 let outcome = c.outcome();
                 Ok(batch
                     .into_iter()

@@ -20,6 +20,9 @@
 //!   (Section 3 of the paper), fully instrumented.
 //! * [`sim`] — the network-level implementation (Section 4): charged and
 //!   executed cost models, pluggable `PG_2` sorters.
+//! * [`obs`] — typed event tracing and derived metrics for the engines,
+//!   the program cache, and the merge (DESIGN.md §9; `PNS_OBS` selects
+//!   the sink).
 //! * [`baselines`] — Batcher odd-even merge and bitonic networks,
 //!   Columnsort, shearsort, odd-even transposition, Stone's
 //!   shuffle-exchange bitonic sort.
@@ -42,6 +45,7 @@
 pub use pns_baselines as baselines;
 pub use pns_core as algo;
 pub use pns_graph as graph;
+pub use pns_obs as obs;
 pub use pns_order as order;
 pub use pns_product as product;
 pub use pns_simulator as sim;
