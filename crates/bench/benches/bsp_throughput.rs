@@ -109,6 +109,50 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-layer tax on the batched hot path. With a disabled
+/// `FaultPlan`, `run_batch_with_faults` takes a fast path with no
+/// decision hashing, no checkpoints, and no certificate checks, so it
+/// must stay within noise (the acceptance bar is < 2%) of plain
+/// `run_batch`. The enabled variants price the actual defenses at a
+/// realistic rate (1 fault per 1000 sites).
+fn bench_fault_overhead(c: &mut Criterion) {
+    use pns_simulator::{FaultPlan, RetryPolicy};
+    let mut group = c.benchmark_group("fault_overhead");
+    let factor = Machine::prepare_factor(&factories::petersen());
+    let r = 2;
+    let program = compile(&factor, r, &ShearSorter);
+    let batch: Vec<Vec<u64>> = (0..16).map(|s| random_keys(100, 31 + s)).collect();
+    let bsp = BspMachine::new(&factor, r);
+    let policy = RetryPolicy::default();
+
+    group.bench_function("run_batch_plain", |b| {
+        b.iter(|| {
+            let mut batch = batch.clone();
+            black_box(bsp.run_batch(&mut batch, &program));
+            black_box(batch)
+        });
+    });
+
+    let disabled = FaultPlan::disabled();
+    group.bench_function("run_batch_faults_disabled", |b| {
+        b.iter(|| {
+            let mut batch = batch.clone();
+            black_box(bsp.run_batch_with_faults(&mut batch, &program, &disabled, &policy));
+            black_box(batch)
+        });
+    });
+
+    let enabled = FaultPlan::random(5, 1_000);
+    group.bench_function("run_batch_faults_rate_1000", |b| {
+        b.iter(|| {
+            let mut batch = batch.clone();
+            black_box(bsp.run_batch_with_faults(&mut batch, &program, &enabled, &policy));
+            black_box(batch)
+        });
+    });
+    group.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("program_cache");
     let factor = factories::k2();
@@ -129,6 +173,7 @@ criterion_group!(
     bench_single_vector,
     bench_batched,
     bench_obs_overhead,
+    bench_fault_overhead,
     bench_cache
 );
 criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e18_fault_tolerance report (see DESIGN.md §3).
+
+fn main() {
+    let report = pns_bench::experiments::e18_fault_tolerance::run();
+    println!("{}", report.to_markdown());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

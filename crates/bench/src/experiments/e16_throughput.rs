@@ -96,8 +96,11 @@ pub fn run() -> Report {
                 k
             })
             .collect();
-        let reports = machine.sort_batch(batch.clone()).expect("batch lengths");
-        let batched: Vec<Vec<u64>> = reports.into_iter().map(|rep| rep.keys).collect();
+        let reports = machine.sort_batch(batch.clone());
+        let batched: Vec<Vec<u64>> = reports
+            .into_iter()
+            .map(|rep| rep.expect("batch lengths").keys)
+            .collect();
         let identical = batched == serial;
         let std_sorted = batched.iter().zip(&batch).all(|(got, input)| {
             let mut expect = input.clone();

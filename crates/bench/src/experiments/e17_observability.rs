@@ -155,7 +155,8 @@ pub fn run() -> Report {
             assert!(rep.is_snake_sorted());
             total = total.then(rep.outcome.counters);
             let batch: Vec<Vec<u64>> = (0..4).map(|s| lcg_keys(len, s * 7 + 2)).collect();
-            for rep in machine.sort_batch(batch).expect("lengths") {
+            for rep in machine.sort_batch(batch) {
+                let rep = rep.expect("lengths");
                 assert!(rep.is_snake_sorted());
                 total = total.then(rep.outcome.counters);
             }
@@ -180,7 +181,8 @@ pub fn run() -> Report {
             let len = machine.shape().len();
             let batch: Vec<Vec<u64>> = (0..3).map(|s| lcg_keys(len, s + 40)).collect();
             let mut total = pns_core::Counters::new();
-            for rep in machine.sort_batch(batch).expect("lengths") {
+            for rep in machine.sort_batch(batch) {
+                let rep = rep.expect("lengths");
                 assert!(rep.is_snake_sorted());
                 total = total.then(rep.outcome.counters);
             }

@@ -30,6 +30,7 @@ pub mod experiments {
     pub mod e15_randomized;
     pub mod e16_throughput;
     pub mod e17_observability;
+    pub mod e18_fault_tolerance;
 }
 
 pub use report::Report;
@@ -59,6 +60,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e15_randomized", e15_randomized::run),
         ("e16_throughput", e16_throughput::run),
         ("e17_observability", e17_observability::run),
+        ("e18_fault_tolerance", e18_fault_tolerance::run),
         ("a01_labeling", a01_labeling::run),
         ("a02_pg2_sorter", a02_pg2_sorter::run),
         ("a03_sorting_network", a03_sorting_network::run),

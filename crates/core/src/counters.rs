@@ -101,6 +101,64 @@ impl std::fmt::Display for Counters {
     }
 }
 
+/// Cost accounting for checkpointed re-execution under faults.
+///
+/// When an executor retries a segment from a checkpoint, every round it
+/// re-runs is *wasted* work relative to the fault-free schedule. These
+/// counters separate that overhead from the useful work so experiments
+/// can report step inflation as `(useful + wasted) / useful` and relate
+/// it to Theorem 1's fault-free step count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryCounters {
+    /// Rounds that contributed to the final committed output (each
+    /// program round counted once, on its last — successful — run).
+    pub useful_rounds: u64,
+    /// Rounds discarded by a checkpoint restore (every round of every
+    /// failed segment attempt, plus all rounds of a quarantined run).
+    pub wasted_rounds: u64,
+    /// Segment re-executions performed (one per checkpoint restore).
+    pub retries: u64,
+    /// Certificate checks that failed and triggered a restore.
+    pub detections: u64,
+}
+
+impl RetryCounters {
+    /// Zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Combine with another run's accounting: everything adds.
+    #[must_use]
+    pub fn then(self, other: RetryCounters) -> RetryCounters {
+        RetryCounters {
+            useful_rounds: self.useful_rounds + other.useful_rounds,
+            wasted_rounds: self.wasted_rounds + other.wasted_rounds,
+            retries: self.retries + other.retries,
+            detections: self.detections + other.detections,
+        }
+    }
+
+    /// Total rounds executed, useful or not.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.useful_rounds + self.wasted_rounds
+    }
+
+    /// Step inflation versus the fault-free schedule:
+    /// `total_rounds / useful_rounds`. `1.0` means no overhead; a run
+    /// with no useful rounds reports `1.0` (nothing to inflate).
+    #[must_use]
+    pub fn inflation(&self) -> f64 {
+        if self.useful_rounds == 0 {
+            1.0
+        } else {
+            self.total_rounds() as f64 / self.useful_rounds as f64
+        }
+    }
+}
+
 /// [`Counters`] next to the closed-form predictions, as built by
 /// [`Counters::versus_predicted`]. Time-like units carry a Theorem 1
 /// prediction; work-like units have none (the theorems do not bound
@@ -207,6 +265,28 @@ mod tests {
         // Columns align: every row is the same width.
         let widths: Vec<usize> = lines.iter().map(|l| l.trim_end().len()).collect();
         assert!(widths.iter().all(|&w| w == widths[0]), "{shown}");
+    }
+
+    #[test]
+    fn retry_counters_accumulate_and_report_inflation() {
+        let a = RetryCounters {
+            useful_rounds: 10,
+            wasted_rounds: 5,
+            retries: 1,
+            detections: 1,
+        };
+        let b = RetryCounters {
+            useful_rounds: 10,
+            wasted_rounds: 0,
+            retries: 0,
+            detections: 0,
+        };
+        let c = a.then(b);
+        assert_eq!(c.useful_rounds, 20);
+        assert_eq!(c.wasted_rounds, 5);
+        assert_eq!(c.total_rounds(), 25);
+        assert!((c.inflation() - 1.25).abs() < 1e-12);
+        assert_eq!(RetryCounters::new().inflation(), 1.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod sort;
 pub mod trace;
 pub mod zero_one;
 
-pub use counters::{Counters, CountersVsPredicted};
+pub use counters::{Counters, CountersVsPredicted, RetryCounters};
 pub use dirty::{dirty_window, is_sorted};
 pub use merge::{
     check_inputs, multiway_merge, multiway_merge_logged, BaseSorter, MergeInputError, StdBaseSorter,

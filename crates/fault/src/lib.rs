@@ -1,0 +1,37 @@
+//! Fault injection and recovery primitives for product-network sorting.
+//!
+//! The paper's correctness story (Lemmas 1–3, Theorem 1) assumes every
+//! comparator exchange and every routing step executes faithfully. A
+//! production sorting service cannot: comparators glitch, messages drop,
+//! lanes stall. This crate provides the machinery to *model* those
+//! failures deterministically and to *recover* from them:
+//!
+//! * [`FaultPlan`] — a seedable, deterministic injector deciding, per
+//!   execution site (round × operation), whether a transient fault
+//!   fires and of which [`FaultKind`]. Decisions are pure functions of
+//!   the plan's seed, so a failing run replays bit-identically.
+//! * [`RetryPolicy`] — how aggressively an executor re-runs from its
+//!   last clean checkpoint when a certificate check fails, and how
+//!   deeply intermediate certificates are probed.
+//! * [`detect`] — cheap snake-order certificates: sampled adjacent-pair
+//!   probes in subgraph snake order (each probe is a two-key zero-one
+//!   spot check) backing the executor's per-phase detection.
+//!
+//! The executor integration (checkpointing, retry, quarantine) lives in
+//! `pns-simulator`'s `fault` module; this crate stays dependency-light
+//! (shapes and snake order only) so plans can be built and shipped
+//! anywhere — including serialized into job specs ([`serde`] support on
+//! all types).
+//!
+//! Transient semantics: a fault *site* fires at most once per run. The
+//! injecting executor tracks fired sites, so re-execution from a
+//! checkpoint is clean — exactly the repair primitive periodic sorting
+//! networks exploit (re-applying a comparator network fixes transient
+//! comparator faults).
+
+pub mod detect;
+pub mod plan;
+pub mod policy;
+
+pub use plan::{FaultKind, FaultPlan, FaultSite, OpClass};
+pub use policy::RetryPolicy;

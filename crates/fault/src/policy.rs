@@ -1,0 +1,81 @@
+//! Retry policies for checkpointed execution.
+
+use serde::{Deserialize, Serialize};
+
+/// How an executor reacts when a certificate check fails.
+///
+/// The executor snapshots the key vector at every certificate boundary
+/// (stage boundaries of the compiled program). When the check at the
+/// end of a segment fails, it restores the snapshot and re-executes the
+/// segment — up to `max_retries` times per segment. Because injected
+/// faults are transient (a site fires at most once per run), the first
+/// re-execution of a segment is already clean; retries beyond the first
+/// guard against corruption that slipped *into* a checkpoint past a
+/// sampled check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Re-executions allowed per segment before the run gives up
+    /// (`RetryExhausted`; batch executors then quarantine the lane).
+    /// `0` disables recovery: detection still runs, failures surface
+    /// immediately.
+    pub max_retries: u32,
+    /// Intermediate-certificate thoroughness: `0` checks the full
+    /// subgraph snake-order certificate at every stage boundary
+    /// (exhaustive; the default), `d > 0` probes `d` sampled adjacent
+    /// snake pairs per boundary instead (O(d) per check). The *final*
+    /// certificate is always checked in full, so a successful run
+    /// guarantees a snake-sorted output under either setting.
+    pub recheck_depth: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries per segment, exhaustive intermediate certificates.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            recheck_depth: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Detection without recovery: certificates are checked (in full)
+    /// but a failure surfaces immediately instead of retrying. The
+    /// configuration exhaustive fault sweeps use to ask "was this
+    /// fault detected?".
+    #[must_use]
+    pub fn detect_only() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            recheck_depth: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_retries_with_full_certificates() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.recheck_depth, 0);
+    }
+
+    #[test]
+    fn detect_only_never_retries() {
+        assert_eq!(RetryPolicy::detect_only().max_retries, 0);
+    }
+
+    #[test]
+    fn policies_serialize_roundtrip() {
+        let p = RetryPolicy {
+            max_retries: 7,
+            recheck_depth: 16,
+        };
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: RetryPolicy = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, p);
+    }
+}

@@ -19,6 +19,11 @@
 //!   the recursion depth.
 //! * **Program cache** ([`Event::CacheLookup`]) — one per lookup, with
 //!   the structural fingerprint of the requested program.
+//! * **Fault layer** ([`Event::FaultInjected`], [`Event::FaultDetected`],
+//!   [`Event::RetryRound`], [`Event::LaneQuarantined`]) — emitted by
+//!   `pns-simulator`'s fault-injecting executor: one per fired fault
+//!   site, per failed certificate check, per checkpoint restore, and per
+//!   batch lane that fell back to a clean serial re-run.
 
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +100,40 @@ pub enum Event {
         /// programs).
         fused: u64,
     },
+    /// A transient fault fired at an execution site (fault-injecting
+    /// executors only).
+    FaultInjected {
+        /// Round index the fault fired in.
+        round: u64,
+        /// Operation index within the round.
+        op: u64,
+        /// `FaultKind` code: 0 flip-compare, 1 drop-route,
+        /// 2 stall-resolve.
+        kind: u64,
+    },
+    /// A certificate check failed, exposing corrupted state.
+    FaultDetected {
+        /// Round the failed certificate guards (the segment boundary).
+        round: u64,
+        /// Subgraph dimensionality `k` the certificate checked.
+        stage: u64,
+        /// Whether the failing check was a sampled probe (`true`) or
+        /// the full certificate (`false`).
+        sampled: bool,
+    },
+    /// The executor restored a checkpoint and is re-running a segment.
+    RetryRound {
+        /// Round the re-execution restarts from (checkpoint boundary).
+        round: u64,
+        /// Retry attempt for this segment (1-based).
+        attempt: u64,
+    },
+    /// A batch lane exhausted its retries and was re-run serially,
+    /// fault-free, from its original input.
+    LaneQuarantined {
+        /// Index of the quarantined lane within the batch.
+        lane: u64,
+    },
 }
 
 impl Event {
@@ -127,6 +166,10 @@ impl Event {
             Event::CacheLookup { .. } => "cache_lookup",
             Event::BatchScheduled { .. } => "batch_scheduled",
             Event::Validate { .. } => "validate",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::FaultDetected { .. } => "fault_detected",
+            Event::RetryRound { .. } => "retry_round",
+            Event::LaneQuarantined { .. } => "lane_quarantined",
         }
     }
 }
@@ -204,6 +247,24 @@ mod tests {
                 fused: 0,
             }
             .kind(),
+            Event::FaultInjected {
+                round: 0,
+                op: 0,
+                kind: 0,
+            }
+            .kind(),
+            Event::FaultDetected {
+                round: 0,
+                stage: 2,
+                sampled: false,
+            }
+            .kind(),
+            Event::RetryRound {
+                round: 0,
+                attempt: 1,
+            }
+            .kind(),
+            Event::LaneQuarantined { lane: 0 }.kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

@@ -152,6 +152,14 @@ pub struct ObsSummary {
     pub elided_cx: u64,
     /// Rounds merged by fusion, summed.
     pub fused: u64,
+    /// Transient faults fired by injecting executors.
+    pub faults_injected: u64,
+    /// Certificate checks that failed.
+    pub faults_detected: u64,
+    /// Checkpoint restores (segment re-executions).
+    pub retries: u64,
+    /// Batch lanes that fell back to a clean serial re-run.
+    pub quarantined: u64,
     open_rounds: HashMap<u64, u64>,
 }
 
@@ -222,6 +230,10 @@ impl ObsSummary {
                 self.elided_cx += elided_cx;
                 self.fused += fused;
             }
+            Event::FaultInjected { .. } => self.faults_injected += 1,
+            Event::FaultDetected { .. } => self.faults_detected += 1,
+            Event::RetryRound { .. } => self.retries += 1,
+            Event::LaneQuarantined { .. } => self.quarantined += 1,
         }
     }
 
@@ -299,10 +311,19 @@ impl fmt::Display for ObsSummary {
             self.batch_vectors,
             self.lane_utilization()
         )?;
-        write!(
+        writeln!(
             f,
             "  {:<22} {:>12}  ({} cx elided, {} rounds fused)",
             "programs validated", self.validated, self.elided_cx, self.fused
+        )?;
+        write!(
+            f,
+            "  {:<22} {:>12}  ({} detected, {} retries, {} quarantined)",
+            "faults injected",
+            self.faults_injected,
+            self.faults_detected,
+            self.retries,
+            self.quarantined
         )
     }
 }
@@ -406,6 +427,51 @@ mod tests {
         assert_eq!(s.unmatched_rounds(), 0);
         let table = s.to_string();
         assert!(table.contains("s2 units"), "{table}");
+    }
+
+    #[test]
+    fn summary_counts_fault_events() {
+        let events = vec![
+            at(
+                0,
+                Event::FaultInjected {
+                    round: 3,
+                    op: 1,
+                    kind: 0,
+                },
+            ),
+            at(
+                1,
+                Event::FaultInjected {
+                    round: 9,
+                    op: 0,
+                    kind: 2,
+                },
+            ),
+            at(
+                2,
+                Event::FaultDetected {
+                    round: 5,
+                    stage: 2,
+                    sampled: false,
+                },
+            ),
+            at(
+                3,
+                Event::RetryRound {
+                    round: 5,
+                    attempt: 1,
+                },
+            ),
+            at(4, Event::LaneQuarantined { lane: 2 }),
+        ];
+        let s = ObsSummary::from_events(&events);
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.faults_detected, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.quarantined, 1);
+        let table = s.to_string();
+        assert!(table.contains("faults injected"), "{table}");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! ([`BspMachine::run`]).
 
 use crate::engine::{Engine, Pg2Instance};
-use crate::netsort::network_sort;
+use crate::netsort::network_merge;
 use crate::sorters::Pg2Sorter;
 use pns_graph::Graph;
 use pns_obs::{Event, EventLogger};
@@ -111,6 +111,25 @@ impl ProgramStats {
     }
 }
 
+/// A certificate point of a compiled program: a round boundary at which
+/// a stage invariant provably holds on fault-free execution. After the
+/// first `round` rounds, every `dims`-dimensional subgraph over
+/// dimensions `0 … dims-1` is snake-sorted (the paper's inter-stage
+/// invariant; `dims = r` at the final boundary means globally sorted).
+///
+/// Fault-injecting executors check these certificates between stages and
+/// retry the enclosed segment from a checkpoint when one fails. The
+/// optimizer treats certificate boundaries as fusion barriers, so they
+/// survive optimization exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CertPoint {
+    /// Rounds executed before the certificate holds (a boundary index:
+    /// `0 ..= program.rounds()`).
+    pub round: u64,
+    /// Subgraph dimensionality `k` of the certified stage invariant.
+    pub dims: u32,
+}
+
 /// A compiled, input-independent schedule for one sort. Serializable, so
 /// a schedule can be compiled once and shipped to the machine that runs
 /// it (the machine re-validates every operation anyway).
@@ -119,11 +138,15 @@ pub struct CompiledProgram {
     shape: Shape,
     rounds: Vec<BspRound>,
     stats: ProgramStats,
+    cert_points: Vec<CertPoint>,
 }
 
 impl CompiledProgram {
     /// Build a program directly from rounds (for hand-written or
     /// deserialized schedules; the machine validates every operation).
+    /// Hand-built programs carry no certificate points — nothing is
+    /// known about what they compute, so fault-injecting executors have
+    /// no invariant to check.
     #[must_use]
     pub fn from_rounds(shape: Shape, rounds: Vec<BspRound>) -> Self {
         let ops = rounds.iter().map(Vec::len).sum::<usize>() as u64;
@@ -132,7 +155,15 @@ impl CompiledProgram {
             shape,
             rounds,
             stats,
+            cert_points: Vec::new(),
         }
+    }
+
+    /// Stage-boundary certificates, in round order ([`compile`] records
+    /// one per stage; hand-built programs have none).
+    #[must_use]
+    pub fn cert_points(&self) -> &[CertPoint] {
+        &self.cert_points
     }
 
     /// Number of synchronous rounds.
@@ -190,20 +221,47 @@ impl CompiledProgram {
         let mut stats = ProgramStats::identity(self.rounds.len() as u64, self.op_count() as u64);
         let mut rounds = self.rounds.clone();
         eliminate_idempotent_cx(&mut rounds, &mut stats);
-        rounds.retain(|round| {
-            let keep = !round.is_empty();
-            if !keep {
+        // Empty-round elision, tracking how each boundary index shifts:
+        // kept_before[i] = rounds kept among the first i.
+        let mut kept_before: Vec<usize> = Vec::with_capacity(rounds.len() + 1);
+        let mut kept: Vec<BspRound> = Vec::with_capacity(rounds.len());
+        for round in rounds {
+            kept_before.push(kept.len());
+            if round.is_empty() {
                 stats.empty_rounds_elided += 1;
+            } else {
+                kept.push(round);
             }
-            keep
-        });
-        let rounds = fuse_disjoint_rounds(rounds, &mut stats);
+        }
+        kept_before.push(kept.len());
+        let certs_kept: Vec<CertPoint> = self
+            .cert_points
+            .iter()
+            .map(|c| CertPoint {
+                round: kept_before[c.round as usize] as u64,
+                dims: c.dims,
+            })
+            .collect();
+        // Certificate boundaries are fusion barriers: the invariant holds
+        // *between* two specific rounds, so fusing across the boundary
+        // would leave the certificate nowhere to attach.
+        let barriers: std::collections::HashSet<usize> =
+            certs_kept.iter().map(|c| c.round as usize).collect();
+        let (rounds, fused_before) = fuse_disjoint_rounds(kept, &barriers, &mut stats);
+        let cert_points = certs_kept
+            .iter()
+            .map(|c| CertPoint {
+                round: fused_before[c.round as usize] as u64,
+                dims: c.dims,
+            })
+            .collect();
         stats.rounds_after = rounds.len() as u64;
         stats.ops_after = rounds.iter().map(Vec::len).sum::<usize>() as u64;
         CompiledProgram {
             shape: self.shape,
             rounds,
             stats,
+            cert_points,
         }
     }
 }
@@ -307,29 +365,219 @@ impl RoundResources {
 /// *adjacent* rounds fuse (never across a conflicting round), so the
 /// sequential semantics are preserved exactly: disjointness means no op
 /// of the later round observes or perturbs anything the earlier round
-/// touched.
-fn fuse_disjoint_rounds(rounds: Vec<BspRound>, stats: &mut ProgramStats) -> Vec<BspRound> {
+/// touched. A round whose input index is in `barriers` never fuses into
+/// its predecessor (certificate boundaries must stay between rounds).
+///
+/// Also returns the boundary map `out_before`, where `out_before[i]` is
+/// the number of output rounds built purely from input rounds `< i` —
+/// exact at every barrier index (barriers forbid the fusion that would
+/// blur the boundary).
+fn fuse_disjoint_rounds(
+    rounds: Vec<BspRound>,
+    barriers: &std::collections::HashSet<usize>,
+    stats: &mut ProgramStats,
+) -> (Vec<BspRound>, Vec<usize>) {
+    let mut out_before: Vec<usize> = Vec::with_capacity(rounds.len() + 1);
     let mut fused: Vec<(BspRound, RoundResources)> = Vec::new();
-    for round in rounds {
+    for (i, round) in rounds.into_iter().enumerate() {
+        out_before.push(fused.len());
         let res = RoundResources::of(&round);
-        if let Some((last, last_res)) = fused.last_mut() {
-            if last_res.disjoint(&res) {
-                last.extend(round);
-                last_res.absorb(res);
-                stats.rounds_fused += 1;
-                continue;
+        if !barriers.contains(&i) {
+            if let Some((last, last_res)) = fused.last_mut() {
+                if last_res.disjoint(&res) {
+                    last.extend(round);
+                    last_res.absorb(res);
+                    stats.rounds_fused += 1;
+                    continue;
+                }
             }
         }
         fused.push((round, res));
     }
-    fused.into_iter().map(|(round, _)| round).collect()
+    out_before.push(fused.len());
+    (
+        fused.into_iter().map(|(round, _)| round).collect(),
+        out_before,
+    )
+}
+
+/// A machine-model violation found by static validation
+/// ([`BspMachine::try_validate`]): which round broke which rule, as
+/// typed data. `Display` renders the exact diagnostic the panicking
+/// paths use, so wrapping an error in `panic!("{e}")` is
+/// message-compatible with the historical asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program was compiled for a different [`Shape`].
+    ShapeMismatch,
+    /// A compare-exchange between non-adjacent nodes.
+    CompareNotEdge {
+        /// Offending round index.
+        round: usize,
+        /// First endpoint.
+        a: u64,
+        /// Second endpoint.
+        b: u64,
+    },
+    /// A move between non-adjacent nodes.
+    MoveNotEdge {
+        /// Offending round index.
+        round: usize,
+        /// Sending node.
+        from: u64,
+        /// Receiving node.
+        to: u64,
+    },
+    /// A directed edge carried two payloads in one round.
+    EdgeReused {
+        /// Offending round index.
+        round: usize,
+        /// Edge tail.
+        from: u64,
+        /// Edge head.
+        to: u64,
+    },
+    /// A node's resident key was written twice in one round.
+    KeyReused {
+        /// Offending round index.
+        round: usize,
+        /// Offending node.
+        node: u64,
+    },
+    /// A node's resident key was both read (relay first hop) and
+    /// written (compare/resolve) in one round — order-dependent.
+    KeyReadAndWritten {
+        /// Offending round index.
+        round: usize,
+        /// Offending node.
+        node: u64,
+    },
+    /// A transit slot index outside `0..2`.
+    BadSlot {
+        /// Offending round index.
+        round: usize,
+        /// The out-of-range slot.
+        slot: u8,
+    },
+    /// A move forwarded from a transit slot that holds nothing.
+    SlotEmpty {
+        /// Offending round index.
+        round: usize,
+        /// Node whose slot was read.
+        node: u64,
+        /// The empty slot.
+        slot: u8,
+    },
+    /// A transit slot received two payloads in one round.
+    SlotWrittenTwice {
+        /// Offending round index.
+        round: usize,
+        /// Node whose slot was written.
+        node: u64,
+        /// The doubly-written slot.
+        slot: u8,
+    },
+    /// A transit slot was taken (forwarded or resolved) twice in one
+    /// round.
+    SlotTakenTwice {
+        /// Offending round index.
+        round: usize,
+        /// Node whose slot was taken.
+        node: u64,
+        /// The doubly-taken slot.
+        slot: u8,
+    },
+    /// A resolve targeted an empty transit slot.
+    ResolveEmptySlot {
+        /// Offending round index.
+        round: usize,
+        /// Resolving node.
+        node: u64,
+        /// The empty slot.
+        slot: u8,
+    },
+    /// A move wrote into a slot still occupied from a previous round.
+    SlotOccupied {
+        /// Offending round index.
+        round: usize,
+        /// Node whose slot was still full.
+        node: u64,
+        /// The occupied slot.
+        slot: u8,
+    },
+    /// The program ended with values still in transit.
+    TransitLeftover,
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ProgramError::ShapeMismatch => write!(f, "program compiled for another shape"),
+            ProgramError::CompareNotEdge { round, a, b } => {
+                write!(
+                    f,
+                    "round {round}: compare-exchange ({a},{b}) is not an edge"
+                )
+            }
+            ProgramError::MoveNotEdge { round, from, to } => {
+                write!(f, "round {round}: move ({from}->{to}) is not an edge")
+            }
+            ProgramError::EdgeReused { round, from, to } => {
+                write!(f, "round {round}: edge ({from}->{to}) used twice")
+            }
+            ProgramError::KeyReused { round, node } => {
+                write!(f, "round {round}: node {node} key accessed twice")
+            }
+            ProgramError::KeyReadAndWritten { round, node } => write!(
+                f,
+                "round {round}: node {node} key both read and written in one round \
+                 (order-dependent; unsafe for deferred execution)"
+            ),
+            ProgramError::BadSlot { round, slot } => {
+                write!(f, "round {round}: bad slot {slot}")
+            }
+            ProgramError::SlotEmpty { round, node, slot } => {
+                write!(f, "round {round}: node {node} slot {slot} empty")
+            }
+            ProgramError::SlotWrittenTwice { round, node, slot } => {
+                write!(f, "round {round}: node {node} slot {slot} written twice")
+            }
+            ProgramError::SlotTakenTwice { round, node, slot } => {
+                write!(f, "round {round}: node {node} slot {slot} taken twice")
+            }
+            ProgramError::ResolveEmptySlot { round, node, slot } => {
+                write!(f, "round {round}: resolve of empty slot {slot} at {node}")
+            }
+            ProgramError::SlotOccupied { round, node, slot } => {
+                write!(f, "round {round}: node {node} slot {slot} still occupied")
+            }
+            ProgramError::TransitLeftover => {
+                write!(f, "transit values left in flight after the program ended")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// What static validation established about a program, returned by
+/// [`BspMachine::try_validate`] on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Rounds in the validated program.
+    pub rounds: usize,
+    /// Operations across all rounds.
+    pub ops: usize,
+    /// Certificate points the program carries (checkable stage
+    /// boundaries for fault-injecting executors).
+    pub cert_points: usize,
 }
 
 /// The BSP machine: executes compiled programs with full validation.
 pub struct BspMachine {
     network: NetworkView,
     shape: Shape,
-    logger: EventLogger,
+    pub(crate) logger: EventLogger,
 }
 
 /// Adjacency view over the product network (rank-based, no edge lists).
@@ -550,10 +798,26 @@ impl BspMachine {
     ///
     /// Panics on any violation, naming the round and the resource.
     pub fn validate(&self, program: &CompiledProgram) {
-        assert_eq!(
-            program.shape, self.shape,
-            "program compiled for another shape"
-        );
+        if let Err(e) = self.try_validate(program) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`BspMachine::validate`] with a typed result instead of a panic:
+    /// `Ok` carries a [`ValidationReport`], `Err` the first violation
+    /// found as a [`ProgramError`] naming the round and the resource.
+    /// Emits the `Validate` event on success only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first machine-model violation in program order.
+    pub fn try_validate(
+        &self,
+        program: &CompiledProgram,
+    ) -> Result<ValidationReport, ProgramError> {
+        if program.shape != self.shape {
+            return Err(ProgramError::ShapeMismatch);
+        }
         let n_nodes = self.shape.len() as usize;
         let mut occupied = vec![[false; 2]; n_nodes];
         for (ri, round) in program.rounds.iter().enumerate() {
@@ -568,21 +832,22 @@ impl BspMachine {
             for op in round {
                 match *op {
                     Op::CompareExchange { a, b, .. } => {
-                        assert!(
-                            self.network.has_edge(a, b),
-                            "round {ri}: compare-exchange ({a},{b}) is not an edge"
-                        );
+                        if !self.network.has_edge(a, b) {
+                            return Err(ProgramError::CompareNotEdge { round: ri, a, b });
+                        }
                         for (x, y) in [(a, b), (b, a)] {
-                            assert!(
-                                edge_used.insert((x, y)),
-                                "round {ri}: edge ({x}->{y}) used twice"
-                            );
+                            if !edge_used.insert((x, y)) {
+                                return Err(ProgramError::EdgeReused {
+                                    round: ri,
+                                    from: x,
+                                    to: y,
+                                });
+                            }
                         }
                         for v in [a, b] {
-                            assert!(
-                                key_written.insert(v),
-                                "round {ri}: node {v} key accessed twice"
-                            );
+                            if !key_written.insert(v) {
+                                return Err(ProgramError::KeyReused { round: ri, node: v });
+                            }
                         }
                     }
                     Op::Move {
@@ -591,70 +856,93 @@ impl BspMachine {
                         slot,
                         from_key,
                     } => {
-                        assert!(slot < 2, "round {ri}: bad slot {slot}");
-                        assert!(
-                            self.network.has_edge(from, to),
-                            "round {ri}: move ({from}->{to}) is not an edge"
-                        );
-                        assert!(
-                            edge_used.insert((from, to)),
-                            "round {ri}: edge ({from}->{to}) used twice"
-                        );
+                        if slot >= 2 {
+                            return Err(ProgramError::BadSlot { round: ri, slot });
+                        }
+                        if !self.network.has_edge(from, to) {
+                            return Err(ProgramError::MoveNotEdge {
+                                round: ri,
+                                from,
+                                to,
+                            });
+                        }
+                        if !edge_used.insert((from, to)) {
+                            return Err(ProgramError::EdgeReused {
+                                round: ri,
+                                from,
+                                to,
+                            });
+                        }
                         if from_key {
                             key_read.insert(from);
                         } else {
-                            assert!(
-                                occupied[from as usize][slot as usize],
-                                "round {ri}: node {from} slot {slot} empty"
-                            );
-                            assert!(
-                                slot_taken.insert((from, slot)),
-                                "round {ri}: node {from} slot {slot} taken twice"
-                            );
+                            if !occupied[from as usize][slot as usize] {
+                                return Err(ProgramError::SlotEmpty {
+                                    round: ri,
+                                    node: from,
+                                    slot,
+                                });
+                            }
+                            if !slot_taken.insert((from, slot)) {
+                                return Err(ProgramError::SlotTakenTwice {
+                                    round: ri,
+                                    node: from,
+                                    slot,
+                                });
+                            }
                         }
-                        assert!(
-                            slot_written.insert((to, slot)),
-                            "round {ri}: node {to} slot {slot} written twice"
-                        );
+                        if !slot_written.insert((to, slot)) {
+                            return Err(ProgramError::SlotWrittenTwice {
+                                round: ri,
+                                node: to,
+                                slot,
+                            });
+                        }
                     }
                     Op::Resolve { node, slot, .. } => {
-                        assert!(slot < 2, "round {ri}: bad slot {slot}");
-                        assert!(
-                            occupied[node as usize][slot as usize],
-                            "round {ri}: resolve of empty slot {slot} at {node}"
-                        );
-                        assert!(
-                            slot_taken.insert((node, slot)),
-                            "round {ri}: node {node} slot {slot} taken twice"
-                        );
-                        assert!(
-                            key_written.insert(node),
-                            "round {ri}: node {node} key accessed twice"
-                        );
+                        if slot >= 2 {
+                            return Err(ProgramError::BadSlot { round: ri, slot });
+                        }
+                        if !occupied[node as usize][slot as usize] {
+                            return Err(ProgramError::ResolveEmptySlot {
+                                round: ri,
+                                node,
+                                slot,
+                            });
+                        }
+                        if !slot_taken.insert((node, slot)) {
+                            return Err(ProgramError::SlotTakenTwice {
+                                round: ri,
+                                node,
+                                slot,
+                            });
+                        }
+                        if !key_written.insert(node) {
+                            return Err(ProgramError::KeyReused { round: ri, node });
+                        }
                     }
                 }
             }
-            if let Some(v) = key_read.intersection(&key_written).next() {
-                panic!(
-                    "round {ri}: node {v} key both read and written in one round \
-                     (order-dependent; unsafe for deferred execution)"
-                );
+            if let Some(&v) = key_read.intersection(&key_written).next() {
+                return Err(ProgramError::KeyReadAndWritten { round: ri, node: v });
             }
             for &(v, s) in &slot_taken {
                 occupied[v as usize][s as usize] = false;
             }
             for &(v, s) in &slot_written {
-                assert!(
-                    !occupied[v as usize][s as usize],
-                    "round {ri}: node {v} slot {s} still occupied"
-                );
+                if occupied[v as usize][s as usize] {
+                    return Err(ProgramError::SlotOccupied {
+                        round: ri,
+                        node: v,
+                        slot: s,
+                    });
+                }
                 occupied[v as usize][s as usize] = true;
             }
         }
-        assert!(
-            occupied.iter().all(|t| !t[0] && !t[1]),
-            "transit values left in flight after the program ended"
-        );
+        if !occupied.iter().all(|t| !t[0] && !t[1]) {
+            return Err(ProgramError::TransitLeftover);
+        }
         self.logger.log(|| {
             let stats = program.stats();
             Event::Validate {
@@ -663,6 +951,11 @@ impl BspMachine {
                 fused: stats.rounds_fused,
             }
         });
+        Ok(ValidationReport {
+            rounds: program.rounds.len(),
+            ops: program.op_count(),
+            cert_points: program.cert_points.len(),
+        })
     }
 
     /// Execute a compiled program with intra-round parallelism. The
@@ -868,7 +1161,11 @@ fn commit_actions<K>(actions: Vec<Action<K>>, keys: &mut [K], transit: &mut [[Op
 /// One round, serial, unchecked — the data semantics of
 /// [`BspMachine::run`]'s inner loop (takes read start-of-round transit
 /// state; incoming values commit at the end of the round).
-fn exec_round_serial<K: Ord + Clone>(keys: &mut [K], transit: &mut [[Option<K>; 2]], round: &[Op]) {
+pub(crate) fn exec_round_serial<K: Ord + Clone>(
+    keys: &mut [K],
+    transit: &mut [[Option<K>; 2]],
+    round: &[Op],
+) {
     let mut incoming: Vec<(usize, usize, K)> = Vec::new();
     for op in round {
         match *op {
@@ -918,7 +1215,7 @@ fn exec_round_serial<K: Ord + Clone>(keys: &mut [K], transit: &mut [[Option<K>; 
 }
 
 /// Run a whole validated program serially on one key vector.
-fn exec_program<K: Ord + Clone>(keys: &mut [K], program: &CompiledProgram) {
+pub(crate) fn exec_program<K: Ord + Clone>(keys: &mut [K], program: &CompiledProgram) {
     let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
     for round in &program.rounds {
         exec_round_serial(keys, &mut transit, round);
@@ -1013,15 +1310,47 @@ impl<K: Ord + Clone + Send + Sync> Engine<K> for RecordingEngine {
 pub fn compile(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) -> CompiledProgram {
     let shape = Shape::new(factor.n(), r);
     let mut engine = RecordingEngine::new(sorter, shape.n());
-    // Replay on dummy data; the schedule is input-independent.
+    // Replay on dummy data, stage by stage; the schedule is
+    // input-independent. Lowering after each stage lets the program
+    // record a certificate point at every stage boundary: after stage
+    // `k`, the paper's invariant says every `k`-dimensional subgraph is
+    // snake-sorted (the final boundary, `k = r`, is global
+    // snake-sortedness).
     let mut dummy: Vec<u32> = (0..shape.len() as u32).collect();
-    let _ = network_sort(shape, &mut dummy, &mut engine);
-
+    let dims: Vec<usize> = (0..r).collect();
+    let mut out = crate::netsort::NetSortOutcome::default();
     let mut rounds: Vec<BspRound> = Vec::new();
-    for logical in &engine.recorded {
-        lower_pair_round(factor, shape, &logical.pairs, &mut rounds);
+    let mut cert_points: Vec<CertPoint> = Vec::new();
+    let mut lowered = 0;
+    let lower_new_rounds =
+        |engine: &RecordingEngine, rounds: &mut Vec<BspRound>, lowered: &mut usize| {
+            for logical in &engine.recorded[*lowered..] {
+                lower_pair_round(factor, shape, &logical.pairs, rounds);
+            }
+            *lowered = engine.recorded.len();
+        };
+
+    // Stage 2 (the initial parallel PG_2 sort round) is exactly the
+    // 2-dimensional merge's base case; the recorded schedule is
+    // identical to network_sort's.
+    network_merge(shape, &mut dummy, &mut engine, &dims[..2], &mut out);
+    lower_new_rounds(&engine, &mut rounds, &mut lowered);
+    cert_points.push(CertPoint {
+        round: rounds.len() as u64,
+        dims: 2,
+    });
+    for k in 3..=r {
+        network_merge(shape, &mut dummy, &mut engine, &dims[..k], &mut out);
+        lower_new_rounds(&engine, &mut rounds, &mut lowered);
+        cert_points.push(CertPoint {
+            round: rounds.len() as u64,
+            dims: k as u32,
+        });
     }
-    CompiledProgram::from_rounds(shape, rounds)
+
+    let mut program = CompiledProgram::from_rounds(shape, rounds);
+    program.cert_points = cert_points;
+    program
 }
 
 /// Lower one logical pair round. Adjacent pairs go into a single
@@ -1135,6 +1464,7 @@ fn emit_wave(wave: &[(Vec<u64>, bool)], rounds: &mut Vec<BspRound>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::netsort::network_sort;
     use crate::sorters::{Hypercube2Sorter, OetSnakeSorter, ShearSorter};
     use crate::{ExecutedEngine, Machine};
     use pns_graph::factories;
@@ -1669,6 +1999,176 @@ mod tests {
                 batch: 5,
                 lanes: rayon::current_num_threads() as u64,
             }]
+        );
+    }
+
+    #[test]
+    fn compiled_programs_carry_stage_certificates() {
+        for (factor, r, sorter) in [
+            (factories::path(3), 3usize, &ShearSorter as &dyn Pg2Sorter),
+            (factories::star(4), 2, &OetSnakeSorter),
+            (factories::k2(), 5, &Hypercube2Sorter),
+        ] {
+            let program = compile(&factor, r, sorter);
+            let certs = program.cert_points();
+            // One certificate per stage: dims 2, 3, …, r.
+            assert_eq!(certs.len(), r - 1, "{factor:?} r={r}");
+            for (i, c) in certs.iter().enumerate() {
+                assert_eq!(c.dims as usize, i + 2);
+            }
+            // Boundaries are monotone and the last one closes the program.
+            assert!(certs.windows(2).all(|w| w[0].round <= w[1].round));
+            assert_eq!(
+                certs.last().expect("nonempty").round as usize,
+                program.rounds()
+            );
+            // The certified invariant actually holds at each boundary.
+            let machine = BspMachine::new(&factor, r);
+            let mut keys = lcg_keys(machine.shape().len(), 23);
+            let mut transit: Vec<[Option<u64>; 2]> = vec![[None, None]; keys.len()];
+            let mut next_cert = 0;
+            for (ri, round) in program.round_ops().iter().enumerate() {
+                while next_cert < certs.len() && certs[next_cert].round as usize == ri {
+                    assert!(
+                        crate::verify::subgraphs_snake_sorted(
+                            machine.shape(),
+                            &keys,
+                            certs[next_cert].dims as usize
+                        ),
+                        "{factor:?} r={r}: certificate at round {ri} violated"
+                    );
+                    next_cert += 1;
+                }
+                exec_round_serial(&mut keys, &mut transit, round);
+            }
+            for c in &certs[next_cert..] {
+                assert_eq!(c.round as usize, program.rounds());
+                assert!(crate::verify::subgraphs_snake_sorted(
+                    machine.shape(),
+                    &keys,
+                    c.dims as usize
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_remaps_certificates_to_surviving_boundaries() {
+        for (factor, r, sorter) in [
+            (factories::k2(), 4usize, &Hypercube2Sorter as &dyn Pg2Sorter),
+            (factories::star(4), 2, &OetSnakeSorter),
+            (factories::path(3), 3, &ShearSorter),
+        ] {
+            let program = compile(&factor, r, sorter);
+            let opt = program.optimized();
+            assert_eq!(opt.cert_points().len(), program.cert_points().len());
+            assert_eq!(
+                opt.cert_points().last().expect("nonempty").round as usize,
+                opt.rounds(),
+                "{factor:?}: final certificate must still close the program"
+            );
+            // Certified invariants hold at the remapped boundaries too.
+            let machine = BspMachine::new(&factor, r);
+            let mut keys = lcg_keys(machine.shape().len(), 29);
+            let mut transit: Vec<[Option<u64>; 2]> = vec![[None, None]; keys.len()];
+            let certs = opt.cert_points();
+            let mut next_cert = 0;
+            for (ri, round) in opt.round_ops().iter().enumerate() {
+                while next_cert < certs.len() && certs[next_cert].round as usize == ri {
+                    assert!(
+                        crate::verify::subgraphs_snake_sorted(
+                            machine.shape(),
+                            &keys,
+                            certs[next_cert].dims as usize
+                        ),
+                        "{factor:?} r={r}: optimized certificate at round {ri} violated"
+                    );
+                    next_cert += 1;
+                }
+                exec_round_serial(&mut keys, &mut transit, round);
+            }
+            assert!(crate::netsort::is_snake_sorted(machine.shape(), &keys));
+        }
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors_with_legacy_messages() {
+        let factor = factories::path(3);
+        let machine = BspMachine::new(&factor, 2);
+        let bad = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![vec![Op::CompareExchange {
+                a: 0,
+                b: 2,
+                min_to_a: true,
+            }]],
+        );
+        let err = machine.try_validate(&bad).expect_err("not an edge");
+        assert_eq!(
+            err,
+            ProgramError::CompareNotEdge {
+                round: 0,
+                a: 0,
+                b: 2
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "round 0: compare-exchange (0,2) is not an edge"
+        );
+
+        let empty_resolve = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![vec![Op::Resolve {
+                node: 1,
+                slot: 0,
+                keep_min: true,
+            }]],
+        );
+        let err = machine
+            .try_validate(&empty_resolve)
+            .expect_err("empty slot");
+        assert_eq!(
+            err,
+            ProgramError::ResolveEmptySlot {
+                round: 0,
+                node: 1,
+                slot: 0
+            }
+        );
+        assert_eq!(err.to_string(), "round 0: resolve of empty slot 0 at 1");
+
+        let other_machine = BspMachine::new(&factor, 3);
+        assert_eq!(
+            other_machine.try_validate(&bad),
+            Err(ProgramError::ShapeMismatch)
+        );
+
+        // A good program reports its size and certificates.
+        let good = compile(&factor, 2, &OetSnakeSorter);
+        let report = machine.try_validate(&good).expect("valid program");
+        assert_eq!(report.rounds, good.rounds());
+        assert_eq!(report.ops, good.op_count());
+        assert_eq!(report.cert_points, 1);
+    }
+
+    #[test]
+    fn try_validate_flags_transit_leftovers() {
+        let factor = factories::path(3);
+        let machine = BspMachine::new(&factor, 2);
+        // A single move parks a value in transit and never resolves it.
+        let program = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![vec![Op::Move {
+                from: 0,
+                to: 1,
+                slot: 0,
+                from_key: true,
+            }]],
+        );
+        assert_eq!(
+            machine.try_validate(&program),
+            Err(ProgramError::TransitLeftover)
         );
     }
 

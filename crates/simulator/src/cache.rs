@@ -162,10 +162,8 @@ impl ProgramCache {
     /// The compiled program for `(factor, r, sorter)`, compiling on the
     /// first request and returning the shared compiled copy afterwards.
     ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned (a previous compile
-    /// panicked).
+    /// Robust to lock poisoning: a panic inside a previous compile never
+    /// wedges the cache (the map only ever holds fully built programs).
     pub fn get_or_compile(
         &self,
         factor: &Graph,
@@ -180,10 +178,6 @@ impl ProgramCache {
     /// As [`ProgramCache::get_or_compile`], but the cached program is
     /// run through [`CompiledProgram::optimized`]. Cached separately
     /// from the unoptimized program.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     pub fn get_or_compile_optimized(
         &self,
         factor: &Graph,
@@ -200,7 +194,12 @@ impl ProgramCache {
         key: ProgramKey,
         build: impl FnOnce() -> CompiledProgram,
     ) -> Arc<CompiledProgram> {
-        if let Some(hit) = self.programs.read().expect("cache lock").get(&key) {
+        if let Some(hit) = self
+            .programs
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.logger.log(|| Event::CacheLookup {
                 hit: true,
@@ -218,7 +217,7 @@ impl ProgramCache {
         });
         self.programs
             .write()
-            .expect("cache lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, Arc::clone(&program));
         program
     }
@@ -236,10 +235,6 @@ impl ProgramCache {
     }
 
     /// Consistent snapshot of the accounting, for tables and logs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -250,32 +245,26 @@ impl ProgramCache {
     }
 
     /// Number of distinct programs held.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.programs.read().expect("cache lock").len()
+        self.programs
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// `true` iff no program is cached.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Drop all cached programs (counters keep their totals).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     pub fn clear(&self) {
-        self.programs.write().expect("cache lock").clear();
+        self.programs
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 

@@ -1,0 +1,835 @@
+//! Fault-injecting execution with round-level checkpoint/retry.
+//!
+//! This module runs a [`CompiledProgram`] under a [`FaultPlan`]: every
+//! operation site may suffer a *transient* fault (each site fires at
+//! most once per run), and the executor defends itself with the
+//! program's stage certificates:
+//!
+//! 1. **Injection** — [`FaultPlan::decide`] is consulted per site; a
+//!    fired site perturbs the op's semantics ([`FaultKind::FlipCompare`]
+//!    inverts the comparison direction, [`FaultKind::DropRoute`]
+//!    delivers a stale clone of the *receiver's* resident key instead of
+//!    the payload, [`FaultKind::StallResolve`] discards the arrived
+//!    value and keeps the resident key). All three preserve the
+//!    transit-slot occupancy schedule, so the machine-model discipline
+//!    validated by `try_validate` still holds and transit is empty at
+//!    every certificate boundary.
+//! 2. **Detection** — at each [`CertPoint`] the executor checks the
+//!    stage invariant (every `dims`-dimensional subgraph over the low
+//!    dimensions snake-sorted): in full via
+//!    [`crate::verify::subgraphs_snake_sorted`] when
+//!    [`RetryPolicy::recheck_depth`] is 0, or by `recheck_depth` sampled
+//!    adjacent-pair probes otherwise. The **final** certificate is
+//!    always checked in full, so an `Ok` return implies the output is
+//!    snake-sorted.
+//! 3. **Recovery** — the key vector is checkpointed at each segment
+//!    boundary (transit is provably empty there, so keys are the whole
+//!    state); a failed check restores the checkpoint and re-runs the
+//!    segment, up to [`RetryPolicy::max_retries`] times. Because faults
+//!    are transient and already-fired sites are tracked globally, a
+//!    retried segment executes clean — the analogue of repairing a
+//!    faulty link between synchronous phases of a periodic network.
+//!
+//! [`BspMachine::run_batch_with_faults`] adds graceful degradation: a
+//! lane that exhausts its retries is *quarantined* — its original input
+//! is restored and re-sorted serially without injection — while healthy
+//! lanes commit their (cheaper) checkpointed runs. The batch never
+//! panics and returns one `Result` per lane.
+//!
+//! When the plan is disabled, execution takes a fast path identical to
+//! [`BspMachine::run_batch`]'s inner loop: no decision hashing, no
+//! checkpoints, no certificate checks (fault-free execution of a
+//! validated program is correct by construction), which keeps the
+//! disabled-injection overhead within noise.
+
+use std::collections::HashSet;
+
+use pns_fault::detect::sampled_subgraph_certificate;
+use pns_fault::{FaultKind, FaultPlan, FaultSite, OpClass, RetryPolicy};
+use pns_obs::Event;
+use pns_order::radix::Shape;
+
+use crate::bsp::{exec_program, exec_round_serial, BspMachine, CompiledProgram, Op, ProgramError};
+use crate::verify::subgraphs_snake_sorted;
+use pns_core::RetryCounters;
+
+/// Why a fault-tolerant run could not produce a sorted vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// The key vector does not have one key per node.
+    WrongKeyCount {
+        /// Keys the machine's shape requires.
+        expected: u64,
+        /// Keys actually supplied.
+        got: usize,
+    },
+    /// The program failed static validation; nothing was executed.
+    Invalid(ProgramError),
+    /// A segment's certificate still failed after the last permitted
+    /// retry. The key vector is left in the (corrupted) state of the
+    /// final attempt; batch execution quarantines the lane instead of
+    /// surfacing this.
+    RetryExhausted {
+        /// Boundary round of the segment that could not be repaired.
+        round: u64,
+        /// Attempts executed (initial run plus retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::WrongKeyCount { expected, got } => {
+                write!(f, "expected {expected} keys (one per node), got {got}")
+            }
+            FaultError::Invalid(e) => write!(f, "invalid program: {e}"),
+            FaultError::RetryExhausted { round, attempts } => write!(
+                f,
+                "certificate at round {round} still failing after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for FaultError {
+    fn from(e: ProgramError) -> Self {
+        FaultError::Invalid(e)
+    }
+}
+
+/// One fault that actually fired during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Where it fired.
+    pub site: FaultSite,
+    /// What fired.
+    pub kind: FaultKind,
+}
+
+/// One failed certificate check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Boundary round the certificate guards.
+    pub round: u64,
+    /// Subgraph dimensionality the certificate checked.
+    pub dims: u32,
+    /// Whether the failing check was a sampled probe rather than the
+    /// full certificate.
+    pub sampled: bool,
+}
+
+/// One checkpoint restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retry {
+    /// Round the re-execution restarts from (the checkpoint).
+    pub round: u64,
+    /// Attempt number for the segment (1-based).
+    pub attempt: u32,
+}
+
+/// What happened during a fault-tolerant run. Returned by
+/// [`BspMachine::run_with_faults`] on success; batch lanes return one
+/// per lane (with [`FaultReport::quarantined`] marking fallbacks).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Total rounds executed, useful and wasted
+    /// (= `counters.total_rounds()`).
+    pub rounds: u64,
+    /// Every fault that fired, in execution order.
+    pub injected: Vec<InjectedFault>,
+    /// Every failed certificate check, in execution order.
+    pub detections: Vec<Detection>,
+    /// Every checkpoint restore, in execution order.
+    pub retries: Vec<Retry>,
+    /// Whether the lane fell back to a clean serial re-run (batch
+    /// execution only; always `false` for single runs).
+    pub quarantined: bool,
+    /// Useful/wasted round accounting for step-inflation reporting.
+    pub counters: RetryCounters,
+}
+
+/// A program segment between certificate boundaries.
+struct Segment {
+    /// First round (inclusive).
+    start: usize,
+    /// One past the last round.
+    end: usize,
+    /// The certificate closing the segment: `(boundary round, dims,
+    /// is_final)`. `None` for an uncertified tail (hand-built programs
+    /// whose cert points do not reach the end).
+    check: Option<(u64, u32, bool)>,
+}
+
+/// Split a program into checkpointable segments at its certificate
+/// boundaries. Programs without certificates (e.g. built via
+/// `CompiledProgram::from_rounds`) become a single unchecked segment —
+/// the executor then runs open-loop and cannot detect anything.
+fn segments(program: &CompiledProgram) -> Vec<Segment> {
+    let certs = program.cert_points();
+    let mut out = Vec::with_capacity(certs.len() + 1);
+    let mut start = 0usize;
+    for (i, c) in certs.iter().enumerate() {
+        out.push(Segment {
+            start,
+            end: c.round as usize,
+            check: Some((c.round, c.dims, i == certs.len() - 1)),
+        });
+        start = c.round as usize;
+    }
+    if start < program.rounds() || certs.is_empty() {
+        out.push(Segment {
+            start,
+            end: program.rounds(),
+            check: None,
+        });
+    }
+    out
+}
+
+/// Execute one round with fault injection. Semantics match
+/// `exec_round_serial` except at fired sites; the transit occupancy
+/// schedule is identical either way.
+fn exec_round_faulty<K: Ord + Clone>(
+    keys: &mut [K],
+    transit: &mut [[Option<K>; 2]],
+    round: &[Op],
+    round_idx: u64,
+    plan: &FaultPlan,
+    fired: &mut HashSet<FaultSite>,
+    injected: &mut Vec<InjectedFault>,
+) {
+    let mut incoming: Vec<(usize, usize, K)> = Vec::new();
+    for (oi, op) in round.iter().enumerate() {
+        let site = FaultSite {
+            round: round_idx,
+            op: oi as u64,
+        };
+        let class = match op {
+            Op::CompareExchange { .. } => OpClass::Compare,
+            Op::Move { .. } => OpClass::Route,
+            Op::Resolve { .. } => OpClass::Resolve,
+        };
+        // Transient model: a site that already fired never fires again,
+        // so retried segments execute clean.
+        let fault = if fired.contains(&site) {
+            None
+        } else {
+            plan.decide(site, class)
+        };
+        if let Some(kind) = fault {
+            fired.insert(site);
+            injected.push(InjectedFault { site, kind });
+        }
+        match *op {
+            Op::CompareExchange { a, b, min_to_a } => {
+                let min_to_a = if fault.is_some() { !min_to_a } else { min_to_a };
+                let (ai, bi) = (a as usize, b as usize);
+                let a_has_min = keys[ai] <= keys[bi];
+                if a_has_min != min_to_a {
+                    keys.swap(ai, bi);
+                }
+            }
+            Op::Move {
+                from,
+                to,
+                slot,
+                from_key,
+            } => {
+                let (fi, si) = (from as usize, slot as usize);
+                // The source slot is consumed even when the payload is
+                // dropped — the wire fired, the message was lost.
+                let payload = if from_key {
+                    keys[fi].clone()
+                } else {
+                    transit[fi][si].take().expect("validated: slot occupied")
+                };
+                let payload = if fault.is_some() {
+                    // Dropped in flight: the receiver's slot latches a
+                    // stale copy of its own resident key.
+                    keys[to as usize].clone()
+                } else {
+                    payload
+                };
+                incoming.push((to as usize, si, payload));
+            }
+            Op::Resolve {
+                node,
+                slot,
+                keep_min,
+            } => {
+                let (ni, si) = (node as usize, slot as usize);
+                let arrived = transit[ni][si].take().expect("validated: slot occupied");
+                if fault.is_none() {
+                    let resident = &mut keys[ni];
+                    let keep_arrived = if keep_min {
+                        arrived < *resident
+                    } else {
+                        arrived > *resident
+                    };
+                    if keep_arrived {
+                        *resident = arrived;
+                    }
+                }
+                // Stalled: the arrived value is discarded, the resident
+                // key survives; the slot is still cleared on schedule.
+            }
+        }
+    }
+    for (to, slot, payload) in incoming {
+        transit[to][slot] = Some(payload);
+    }
+}
+
+/// Core checkpoint/retry loop, free of `&BspMachine` so batch lanes can
+/// run it from worker threads without sharing the (single-threaded)
+/// event logger. Returns the report plus `Some((boundary, attempts))`
+/// if a segment exhausted its retries.
+fn exec_with_faults<K: Ord + Clone>(
+    shape: Shape,
+    keys: &mut [K],
+    program: &CompiledProgram,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (FaultReport, Option<(u64, u32)>) {
+    let rounds = program.round_ops();
+    let mut report = FaultReport::default();
+    if !plan.is_enabled() {
+        // Fast path: plain serial execution, no hashing, no checks.
+        let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
+        for round in rounds {
+            exec_round_serial(keys, &mut transit, round);
+        }
+        report.counters.useful_rounds = rounds.len() as u64;
+        report.rounds = rounds.len() as u64;
+        return (report, None);
+    }
+    let mut fired: HashSet<FaultSite> = HashSet::new();
+    let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
+    for seg in segments(program) {
+        // Transit is empty at segment boundaries (relays complete within
+        // a stage), so the key vector is the entire checkpoint.
+        let checkpoint: Option<Vec<K>> =
+            (policy.max_retries > 0 && seg.check.is_some()).then(|| keys.to_vec());
+        let seg_rounds = (seg.end - seg.start) as u64;
+        let mut attempt: u32 = 0;
+        loop {
+            for (ri, round) in rounds.iter().enumerate().take(seg.end).skip(seg.start) {
+                exec_round_faulty(
+                    keys,
+                    &mut transit,
+                    round,
+                    ri as u64,
+                    plan,
+                    &mut fired,
+                    &mut report.injected,
+                );
+            }
+            debug_assert!(
+                transit.iter().all(|t| t[0].is_none() && t[1].is_none()),
+                "transit must drain at certificate boundaries"
+            );
+            let ok = match seg.check {
+                None => true,
+                Some((boundary, dims, is_final)) => {
+                    // The final certificate is always checked in full —
+                    // an Ok return must imply a snake-sorted output.
+                    if !is_final && policy.recheck_depth > 0 {
+                        sampled_subgraph_certificate(
+                            shape,
+                            keys,
+                            dims as usize,
+                            policy.recheck_depth,
+                            plan.probe_seed(boundary, u64::from(attempt)),
+                        )
+                    } else {
+                        subgraphs_snake_sorted(shape, keys, dims as usize)
+                    }
+                }
+            };
+            if ok {
+                report.counters.useful_rounds += seg_rounds;
+                break;
+            }
+            let (boundary, dims, is_final) = seg.check.expect("a failed check has a certificate");
+            report.detections.push(Detection {
+                round: boundary,
+                dims,
+                sampled: !is_final && policy.recheck_depth > 0,
+            });
+            report.counters.detections += 1;
+            report.counters.wasted_rounds += seg_rounds;
+            if attempt >= policy.max_retries {
+                report.rounds = report.counters.total_rounds();
+                return (report, Some((boundary, attempt + 1)));
+            }
+            attempt += 1;
+            keys.clone_from_slice(checkpoint.as_deref().expect("retries imply a checkpoint"));
+            report.retries.push(Retry {
+                round: seg.start as u64,
+                attempt,
+            });
+            report.counters.retries += 1;
+        }
+    }
+    report.rounds = report.counters.total_rounds();
+    (report, None)
+}
+
+/// One batch lane: distinct `&mut` targets for the parallel workers,
+/// with the per-lane outcome written in place (the vendored `rayon`
+/// subset has no indexed map-collect).
+struct LaneSlot<'a, K> {
+    lane: u64,
+    keys: &'a mut Vec<K>,
+    outcome: Option<Result<FaultReport, FaultError>>,
+}
+
+impl BspMachine {
+    /// Emit the observability events a finished lane accumulated. Runs
+    /// on the calling thread (the logger's buffers are thread-local).
+    fn emit_fault_events(&self, report: &FaultReport, lane: Option<u64>) {
+        for f in &report.injected {
+            self.logger.log(|| Event::FaultInjected {
+                round: f.site.round,
+                op: f.site.op,
+                kind: f.kind.code(),
+            });
+        }
+        for d in &report.detections {
+            self.logger.log(|| Event::FaultDetected {
+                round: d.round,
+                stage: u64::from(d.dims),
+                sampled: d.sampled,
+            });
+        }
+        for r in &report.retries {
+            self.logger.log(|| Event::RetryRound {
+                round: r.round,
+                attempt: u64::from(r.attempt),
+            });
+        }
+        if report.quarantined {
+            if let Some(lane) = lane {
+                self.logger.log(|| Event::LaneQuarantined { lane });
+            }
+        }
+    }
+
+    /// Execute a compiled program on `keys` under `plan`, detecting
+    /// corruption at the program's certificate boundaries and retrying
+    /// failed segments from checkpoints per `policy`.
+    ///
+    /// On `Ok`, the final full certificate passed: `keys` is
+    /// snake-sorted. On [`FaultError::RetryExhausted`], `keys` holds the
+    /// corrupted state of the last attempt (callers wanting a sorted
+    /// result anyway should re-run clean — the batch API does this
+    /// automatically).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::Invalid`] if the program fails static validation
+    /// (nothing executed), [`FaultError::WrongKeyCount`] if `keys` is
+    /// not one per node, [`FaultError::RetryExhausted`] as above.
+    pub fn run_with_faults<K: Ord + Clone>(
+        &self,
+        keys: &mut [K],
+        program: &CompiledProgram,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<FaultReport, FaultError> {
+        self.try_validate(program)?;
+        if keys.len() as u64 != self.shape().len() {
+            return Err(FaultError::WrongKeyCount {
+                expected: self.shape().len(),
+                got: keys.len(),
+            });
+        }
+        let (report, failed) = exec_with_faults(self.shape(), keys, program, plan, policy);
+        self.emit_fault_events(&report, None);
+        match failed {
+            None => Ok(report),
+            Some((round, attempts)) => Err(FaultError::RetryExhausted { round, attempts }),
+        }
+    }
+
+    /// Drive a batch of independent key vectors through one compiled
+    /// program under fault injection, one worker per vector, each lane
+    /// using `plan.fork(lane)` so lanes fault independently.
+    ///
+    /// Degrades gracefully instead of failing the batch: a lane that
+    /// exhausts its retries is *quarantined* — restored to its original
+    /// input and re-run serially without injection — so every `Ok` lane
+    /// ends snake-sorted regardless. Per-lane errors are only the
+    /// non-recoverable kinds (wrong key count). An invalid program fails
+    /// every lane without executing anything. Never panics on any input.
+    pub fn run_batch_with_faults<K>(
+        &self,
+        batch: &mut [Vec<K>],
+        program: &CompiledProgram,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Vec<Result<FaultReport, FaultError>>
+    where
+        K: Ord + Clone + Send + Sync,
+    {
+        if let Err(e) = self.try_validate(program) {
+            return batch
+                .iter()
+                .map(|_| Err(FaultError::Invalid(e.clone())))
+                .collect();
+        }
+        self.logger.log(|| Event::BatchScheduled {
+            batch: batch.len() as u64,
+            lanes: rayon::current_num_threads() as u64,
+        });
+        let shape = self.shape();
+        let expected = shape.len();
+        let run_lane = |lane: u64, keys: &mut Vec<K>| -> Result<FaultReport, FaultError> {
+            if keys.len() as u64 != expected {
+                return Err(FaultError::WrongKeyCount {
+                    expected,
+                    got: keys.len(),
+                });
+            }
+            let lane_plan = plan.fork(lane);
+            // Keep the pristine input around for the quarantine path.
+            let original: Option<Vec<K>> = lane_plan.is_enabled().then(|| keys.clone());
+            let (mut report, failed) = exec_with_faults(shape, keys, program, &lane_plan, policy);
+            if failed.is_some() {
+                // Quarantine: everything executed so far is discarded;
+                // re-run clean and serial from the original input.
+                keys.clear();
+                keys.extend(original.expect("a failed run had an enabled plan"));
+                exec_program(keys, program);
+                report.counters.wasted_rounds += report.counters.useful_rounds;
+                report.counters.useful_rounds = program.rounds() as u64;
+                report.rounds = report.counters.total_rounds();
+                report.quarantined = true;
+            }
+            Ok(report)
+        };
+        let mut slots: Vec<LaneSlot<'_, K>> = batch
+            .iter_mut()
+            .enumerate()
+            .map(|(i, keys)| LaneSlot {
+                lane: i as u64,
+                keys,
+                outcome: None,
+            })
+            .collect();
+        if slots.len() <= 1 {
+            for slot in &mut slots {
+                slot.outcome = Some(run_lane(slot.lane, slot.keys));
+            }
+        } else {
+            use rayon::prelude::*;
+            slots
+                .par_iter_mut()
+                .for_each(|slot| slot.outcome = Some(run_lane(slot.lane, slot.keys)));
+        }
+        let results: Vec<Result<FaultReport, FaultError>> = slots
+            .into_iter()
+            .map(|slot| slot.outcome.expect("every lane ran"))
+            .collect();
+        // The logger's buffers are thread-local, so lane events are
+        // replayed here, after the join, from the calling thread.
+        for (lane, res) in results.iter().enumerate() {
+            if let Ok(report) = res {
+                self.emit_fault_events(report, Some(lane as u64));
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsp::compile;
+    use crate::netsort::is_snake_sorted;
+    use crate::sorters::OetSnakeSorter;
+    use pns_graph::factories;
+
+    fn lcg_keys(len: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x >> 16
+            })
+            .collect()
+    }
+
+    fn setup(r: usize) -> (BspMachine, CompiledProgram) {
+        let factor = factories::path(3);
+        let program = compile(&factor, r, &OetSnakeSorter);
+        let machine = BspMachine::new(&factor, r);
+        (machine, program)
+    }
+
+    #[test]
+    fn disabled_plan_matches_plain_run_exactly() {
+        let (machine, program) = setup(3);
+        let plan = FaultPlan::disabled();
+        let policy = RetryPolicy::default();
+        for seed in [1u64, 7, 99] {
+            let keys = lcg_keys(machine.shape().len(), seed);
+            let mut plain = keys.clone();
+            let mut faulty = keys;
+            machine.run(&mut plain, &program);
+            let report = machine
+                .run_with_faults(&mut faulty, &program, &plan, &policy)
+                .expect("disabled plan cannot fail");
+            assert_eq!(plain, faulty);
+            assert_eq!(report.rounds as usize, program.rounds());
+            assert!(report.injected.is_empty());
+            assert!(report.detections.is_empty());
+            assert!(report.retries.is_empty());
+            assert_eq!(report.counters.useful_rounds as usize, program.rounds());
+            assert_eq!(report.counters.wasted_rounds, 0);
+        }
+    }
+
+    #[test]
+    fn wrong_key_count_is_a_typed_error() {
+        let (machine, program) = setup(2);
+        let mut keys = vec![1u64; 3];
+        let err = machine
+            .run_with_faults(
+                &mut keys,
+                &program,
+                &FaultPlan::disabled(),
+                &RetryPolicy::default(),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::WrongKeyCount {
+                expected: machine.shape().len(),
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn injected_faults_are_detected_and_repaired() {
+        let (machine, program) = setup(3);
+        let policy = RetryPolicy::default();
+        let mut repaired = 0u32;
+        for seed in 0..40u64 {
+            let plan = FaultPlan::random(seed, 2_000); // 0.2% of sites
+            let mut keys = lcg_keys(machine.shape().len(), seed + 1);
+            let report = machine
+                .run_with_faults(&mut keys, &program, &plan, &policy)
+                .expect("default policy repairs sparse transients");
+            assert!(
+                is_snake_sorted(machine.shape(), &keys),
+                "seed {seed}: Ok must imply sorted"
+            );
+            assert_eq!(report.rounds, report.counters.total_rounds());
+            if !report.injected.is_empty() {
+                repaired += 1;
+            }
+            // Accounting: every retry re-ran a whole segment.
+            assert_eq!(report.counters.retries, report.retries.len() as u64);
+            assert_eq!(report.counters.detections, report.detections.len() as u64);
+        }
+        assert!(
+            repaired > 0,
+            "rate 2000/M over 40 seeds must fire somewhere"
+        );
+    }
+
+    #[test]
+    fn single_flip_is_harmless_or_detected_by_certificates() {
+        // detect_only: no retries, so a detected fault surfaces as
+        // RetryExhausted; an undetected one must be harmless.
+        let (machine, program) = setup(2);
+        let policy = RetryPolicy::detect_only();
+        let keys = lcg_keys(machine.shape().len(), 11);
+        for (ri, round) in program.round_ops().iter().enumerate() {
+            for (oi, op) in round.iter().enumerate() {
+                if !matches!(op, Op::CompareExchange { .. }) {
+                    continue;
+                }
+                let site = FaultSite {
+                    round: ri as u64,
+                    op: oi as u64,
+                };
+                let plan = FaultPlan::single(FaultKind::FlipCompare, site);
+                let mut k = keys.clone();
+                match machine.run_with_faults(&mut k, &program, &plan, &policy) {
+                    Ok(_) => assert!(
+                        is_snake_sorted(machine.shape(), &k),
+                        "undetected flip at {site:?} must be harmless"
+                    ),
+                    Err(FaultError::RetryExhausted { .. }) => {}
+                    Err(other) => panic!("unexpected error at {site:?}: {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_rechecks_still_end_sorted() {
+        let (machine, program) = setup(3);
+        let policy = RetryPolicy {
+            max_retries: 5,
+            recheck_depth: 4,
+        };
+        for seed in 0..20u64 {
+            let plan = FaultPlan::random(seed, 3_000);
+            let mut keys = lcg_keys(machine.shape().len(), seed * 3 + 2);
+            // A sampled intermediate check may miss corruption, but the
+            // final full check catches it, and the last segment's
+            // checkpoint restores enough to repair (the fault already
+            // fired, so the retry is clean).
+            if machine
+                .run_with_faults(&mut keys, &program, &plan, &policy)
+                .is_ok()
+            {
+                assert!(is_snake_sorted(machine.shape(), &keys), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_quarantines_exhausted_lanes_and_sorts_everything() {
+        let (machine, program) = setup(2);
+        // detect_only exhausts on the first detection, forcing the
+        // quarantine path for any lane whose faults corrupt the output.
+        let policy = RetryPolicy::detect_only();
+        let plan = FaultPlan::random(5, 20_000); // 2% of sites
+        let mut batch: Vec<Vec<u64>> = (0..12)
+            .map(|i| lcg_keys(machine.shape().len(), i * 13 + 1))
+            .collect();
+        let results = machine.run_batch_with_faults(&mut batch, &program, &plan, &policy);
+        assert_eq!(results.len(), batch.len());
+        let mut quarantined = 0;
+        for (lane, res) in results.iter().enumerate() {
+            let report = res.as_ref().expect("lanes degrade, they do not fail");
+            assert!(
+                is_snake_sorted(machine.shape(), &batch[lane]),
+                "lane {lane} must end sorted"
+            );
+            if report.quarantined {
+                quarantined += 1;
+                assert_eq!(report.counters.useful_rounds as usize, program.rounds());
+                assert!(report.counters.wasted_rounds > 0);
+            }
+        }
+        assert!(
+            quarantined > 0,
+            "2% of sites with no retries must quarantine some lane"
+        );
+    }
+
+    #[test]
+    fn batch_reports_wrong_length_lanes_without_failing_others() {
+        let (machine, program) = setup(2);
+        let n = machine.shape().len();
+        let mut batch: Vec<Vec<u64>> = vec![lcg_keys(n, 1), vec![9, 9, 9], lcg_keys(n, 2)];
+        let results = machine.run_batch_with_faults(
+            &mut batch,
+            &program,
+            &FaultPlan::random(1, 1_000),
+            &RetryPolicy::default(),
+        );
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1],
+            Err(FaultError::WrongKeyCount {
+                expected: n,
+                got: 3
+            })
+        );
+        assert!(results[2].is_ok());
+        assert!(is_snake_sorted(machine.shape(), &batch[0]));
+        assert!(is_snake_sorted(machine.shape(), &batch[2]));
+    }
+
+    #[test]
+    fn invalid_program_fails_every_lane_without_executing() {
+        let (machine, _) = setup(2);
+        let bogus = CompiledProgram::from_rounds(
+            machine.shape(),
+            vec![vec![Op::CompareExchange {
+                a: 0,
+                b: machine.shape().len() - 1, // not an edge on path(3)^2
+                min_to_a: true,
+            }]],
+        );
+        let mut batch: Vec<Vec<u64>> = (0..3)
+            .map(|i| lcg_keys(machine.shape().len(), i + 1))
+            .collect();
+        let before = batch.clone();
+        let results = machine.run_batch_with_faults(
+            &mut batch,
+            &bogus,
+            &FaultPlan::disabled(),
+            &RetryPolicy::default(),
+        );
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(FaultError::Invalid(_)))));
+        assert_eq!(batch, before, "nothing may execute");
+    }
+
+    #[test]
+    fn fault_runs_emit_observability_events() {
+        let factor = factories::path(3);
+        let program = compile(&factor, 2, &OetSnakeSorter);
+        let mut machine = BspMachine::new(&factor, 2);
+        let (sink, reader) = pns_obs::MemorySink::with_capacity(1 << 16);
+        machine.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
+        let plan = FaultPlan::random(5, 20_000);
+        let policy = RetryPolicy::detect_only();
+        let mut batch: Vec<Vec<u64>> = (0..12)
+            .map(|i| lcg_keys(machine.shape().len(), i * 13 + 1))
+            .collect();
+        let results = machine.run_batch_with_faults(&mut batch, &program, &plan, &policy);
+        machine.logger.flush();
+        let events: Vec<Event> = reader.events().into_iter().map(|t| t.event).collect();
+        let injected: usize = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|r| r.injected.len())
+            .sum();
+        let quarantined: usize = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .filter(|r| r.quarantined)
+            .count();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::FaultInjected { .. }))
+                .count(),
+            injected
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::LaneQuarantined { .. }))
+                .count(),
+            quarantined
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::BatchScheduled { .. })));
+    }
+}

@@ -31,6 +31,7 @@ pub mod cache;
 pub mod cost;
 pub mod engine;
 pub mod enumerate;
+pub mod fault;
 pub mod machine;
 pub mod netsort;
 pub mod sample;
@@ -38,12 +39,19 @@ pub mod sorters;
 pub mod verify;
 
 pub use block::{block_sort, BlockEngine, SortedBlock};
-pub use bsp::{compile, BspMachine, CompiledProgram, Op, ProgramStats};
+pub use bsp::{
+    compile, BspMachine, CertPoint, CompiledProgram, Op, ProgramError, ProgramStats,
+    ValidationReport,
+};
 pub use cache::{fingerprint, CacheStats, ProgramCache, ProgramKey};
 pub use cost::CostModel;
 pub use engine::{ChargedEngine, Engine, ExecutedEngine, Pg2Instance, PAR_THRESHOLD};
+pub use fault::{Detection, FaultError, FaultReport, InjectedFault, Retry};
+// The fault plan/policy vocabulary is re-exported so executor callers
+// need not depend on `pns-fault` directly.
 pub use machine::{Machine, SortError, SortReport};
 pub use netsort::{network_sort, NetSortOutcome};
-pub use sample::{sample_sort, SampleSortOutcome};
+pub use pns_fault::{FaultKind, FaultPlan, FaultSite, OpClass, RetryPolicy};
+pub use sample::{sample_sort, try_sample_sort, SampleSortOutcome};
 pub use sorters::{Hypercube2Sorter, OetSnakeSorter, Pg2Sorter, ShearSorter};
 pub use verify::{network_sort_checked, subgraphs_snake_sorted, LoggingEngine, RoundRecord};

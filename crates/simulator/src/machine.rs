@@ -13,13 +13,30 @@ use pns_order::radix::Shape;
 use std::fmt;
 use std::sync::Arc;
 
-/// Errors reported by [`Machine::sort`].
+/// Errors reported by [`Machine::sort`], [`Machine::sort_batch`] (per
+/// lane), and [`crate::sample::try_sample_sort`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SortError {
     /// The key vector does not have one key per node.
     WrongKeyCount {
         /// `N^r`.
         expected: u64,
+        /// What was supplied.
+        got: usize,
+    },
+    /// Sample sort: the per-node block size is zero.
+    ZeroBlockSize,
+    /// Sample sort: the oversampling factor is outside `1..=b`.
+    BadOversample {
+        /// Requested samples per node.
+        oversample: usize,
+        /// Per-node block size `b`.
+        block: usize,
+    },
+    /// Sample sort: the key count is not `b·N^r`.
+    WrongBlockedKeyCount {
+        /// `b·N^r`.
+        expected: usize,
         /// What was supplied.
         got: usize,
     },
@@ -30,6 +47,16 @@ impl fmt::Display for SortError {
         match self {
             SortError::WrongKeyCount { expected, got } => {
                 write!(f, "expected {expected} keys (one per node), got {got}")
+            }
+            SortError::ZeroBlockSize => write!(f, "block size must be positive"),
+            SortError::BadOversample { oversample, block } => {
+                write!(
+                    f,
+                    "need 1 ≤ oversample ≤ b, got oversample {oversample} with b = {block}"
+                )
+            }
+            SortError::WrongBlockedKeyCount { expected, got } => {
+                write!(f, "need b·N^r keys: expected {expected}, got {got}")
             }
         }
     }
@@ -318,46 +345,60 @@ impl Machine {
         })
     }
 
-    /// Sort many independent key vectors through this machine.
+    /// Sort many independent key vectors through this machine, returning
+    /// one `Result` per lane in input order.
     ///
-    /// On a compiled machine ([`Machine::compiled`]) the whole batch
-    /// runs through one program with one validation pass and one thread
-    /// per vector ([`BspMachine::run_batch`]) — the high-throughput
-    /// path. Other engine kinds sort the vectors one after another;
-    /// results are identical either way.
+    /// On a compiled machine ([`Machine::compiled`]) the valid lanes run
+    /// through one program with one validation pass and one thread per
+    /// vector ([`BspMachine::run_batch`]) — the high-throughput path.
+    /// Other engine kinds sort the vectors one after another; results
+    /// are identical either way.
     ///
-    /// # Errors
-    ///
-    /// [`SortError::WrongKeyCount`] if any vector's length is not one
-    /// key per node; no vector is sorted in that case.
-    pub fn sort_batch<K>(&mut self, batch: Vec<Vec<K>>) -> Result<Vec<SortReport<K>>, SortError>
+    /// A lane whose vector is not one key per node reports
+    /// [`SortError::WrongKeyCount`] without affecting the other lanes —
+    /// a malformed input degrades that lane, never the batch.
+    pub fn sort_batch<K>(&mut self, batch: Vec<Vec<K>>) -> Vec<Result<SortReport<K>, SortError>>
     where
         K: Ord + Clone + Send + Sync,
     {
-        if let Some(bad) = batch.iter().find(|b| b.len() as u64 != self.shape.len()) {
-            return Err(SortError::WrongKeyCount {
-                expected: self.shape.len(),
-                got: bad.len(),
-            });
-        }
         match &mut self.engine {
             EngineKind::Compiled(c) => {
-                let mut batch = batch;
-                c.bsp.run_batch(&mut batch, &c.program);
-                // Every vector is charged the full logical unit cost, so
-                // the aggregated events cover the whole batch (= the sum
-                // of the returned reports' counters).
-                c.emit_units(batch.len() as u64);
+                let expected = self.shape.len();
+                // Partition out the malformed lanes, keeping slots so the
+                // results come back in input order.
+                let mut good: Vec<Vec<K>> = Vec::with_capacity(batch.len());
+                let mut slots: Vec<Result<(), SortError>> = Vec::with_capacity(batch.len());
+                for keys in batch {
+                    if keys.len() as u64 == expected {
+                        slots.push(Ok(()));
+                        good.push(keys);
+                    } else {
+                        slots.push(Err(SortError::WrongKeyCount {
+                            expected,
+                            got: keys.len(),
+                        }));
+                    }
+                }
+                if !good.is_empty() {
+                    c.bsp.run_batch(&mut good, &c.program);
+                    // Every vector is charged the full logical unit cost,
+                    // so the aggregated events cover the whole batch (=
+                    // the sum of the returned reports' counters).
+                    c.emit_units(good.len() as u64);
+                }
                 let outcome = c.outcome();
-                Ok(batch
+                let mut sorted = good.into_iter();
+                slots
                     .into_iter()
-                    .map(|keys| SortReport {
-                        shape: self.shape,
-                        factor_name: self.factor_name.clone(),
-                        keys,
-                        outcome,
+                    .map(|slot| {
+                        slot.map(|()| SortReport {
+                            shape: self.shape,
+                            factor_name: self.factor_name.clone(),
+                            keys: sorted.next().expect("one sorted vector per Ok slot"),
+                            outcome,
+                        })
                     })
-                    .collect())
+                    .collect()
             }
             _ => batch.into_iter().map(|keys| self.sort(keys)).collect(),
         }
@@ -557,8 +598,11 @@ mod tests {
         ];
         let mut reference: Option<Vec<Vec<u64>>> = None;
         for m in &mut machines {
-            let reports = m.sort_batch(batch.clone()).unwrap();
-            let keys: Vec<Vec<u64>> = reports.into_iter().map(|r| r.keys).collect();
+            let reports = m.sort_batch(batch.clone());
+            let keys: Vec<Vec<u64>> = reports
+                .into_iter()
+                .map(|r| r.expect("valid lane").keys)
+                .collect();
             match &reference {
                 None => reference = Some(keys),
                 Some(expect) => assert_eq!(&keys, expect),
@@ -567,15 +611,15 @@ mod tests {
     }
 
     #[test]
-    fn sort_batch_rejects_any_wrong_length_vector() {
+    fn sort_batch_degrades_wrong_length_lanes_without_failing_others() {
         let cache = crate::cache::ProgramCache::new();
         let mut m = Machine::compiled(&factories::path(3), 2, &ShearSorter, &cache);
-        let err = m
-            .sort_batch(vec![vec![0u32; 9], vec![0u32; 8]])
-            .unwrap_err();
+        let results = m.sort_batch(vec![(0..9u32).rev().collect(), vec![0u32; 8]]);
+        let good = results[0].as_ref().expect("valid lane sorts");
+        assert!(good.is_snake_sorted());
         assert_eq!(
-            err,
-            SortError::WrongKeyCount {
+            results[1].as_ref().unwrap_err(),
+            &SortError::WrongKeyCount {
                 expected: 9,
                 got: 8
             }

@@ -28,6 +28,7 @@
 //! the deterministic blocked algorithm as \[5\] did on the CM-2.
 
 use crate::cost::CostModel;
+use crate::machine::SortError;
 use pns_graph::{bfs_distances, diameter, Graph};
 use pns_order::radix::Shape;
 use pns_order::snake::node_at_snake_pos;
@@ -77,7 +78,8 @@ fn log2_ceil(x: usize) -> u64 {
 /// # Panics
 ///
 /// Panics if `keys.len() != b·N^r`, `b == 0`, or `oversample == 0` or
-/// `oversample > b`.
+/// `oversample > b`. [`try_sample_sort`] reports the same conditions as
+/// typed errors instead.
 pub fn sample_sort<K: Ord + Clone + Send + Sync>(
     factor: &Graph,
     r: usize,
@@ -87,14 +89,44 @@ pub fn sample_sort<K: Ord + Clone + Send + Sync>(
     seed: u64,
     cost: &CostModel,
 ) -> (Vec<K>, SampleSortOutcome) {
+    try_sample_sort(factor, r, b, keys, oversample, seed, cost).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`sample_sort`], but malformed parameters come back as typed
+/// errors instead of panics.
+///
+/// # Errors
+///
+/// [`SortError::ZeroBlockSize`] if `b == 0`,
+/// [`SortError::BadOversample`] unless `1 ≤ oversample ≤ b`,
+/// [`SortError::WrongBlockedKeyCount`] if `keys.len() != b·N^r`. No key
+/// is moved on any error.
+pub fn try_sample_sort<K: Ord + Clone + Send + Sync>(
+    factor: &Graph,
+    r: usize,
+    b: usize,
+    keys: Vec<K>,
+    oversample: usize,
+    seed: u64,
+    cost: &CostModel,
+) -> Result<(Vec<K>, SampleSortOutcome), SortError> {
     let shape = Shape::new(factor.n(), r);
     let p = shape.len() as usize;
-    assert!(b >= 1, "block size must be positive");
-    assert!(
-        oversample >= 1 && oversample <= b,
-        "need 1 ≤ oversample ≤ b"
-    );
-    assert_eq!(keys.len(), p * b, "need b·N^r keys");
+    if b == 0 {
+        return Err(SortError::ZeroBlockSize);
+    }
+    if oversample == 0 || oversample > b {
+        return Err(SortError::BadOversample {
+            oversample,
+            block: b,
+        });
+    }
+    if keys.len() != p * b {
+        return Err(SortError::WrongBlockedKeyCount {
+            expected: p * b,
+            got: keys.len(),
+        });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Phase 1: deal blocks and sort locally.
@@ -201,7 +233,7 @@ pub fn sample_sort<K: Ord + Clone + Send + Sync>(
     // The concatenation in snake order is already globally sorted because
     // buckets are snake-position intervals.
     debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
-    (out, outcome)
+    Ok((out, outcome))
 }
 
 #[cfg(test)]
@@ -290,6 +322,30 @@ mod tests {
             );
             assert_eq!(sorted, expect, "{factor:?}");
         }
+    }
+
+    #[test]
+    fn try_sample_sort_reports_typed_errors() {
+        let factor = factories::path(3);
+        let cost = CostModel::paper_grid(3);
+        assert_eq!(
+            try_sample_sort::<u8>(&factor, 2, 0, vec![], 1, 1, &cost).unwrap_err(),
+            SortError::ZeroBlockSize
+        );
+        assert_eq!(
+            try_sample_sort(&factor, 2, 4, vec![0u8; 36], 9, 1, &cost).unwrap_err(),
+            SortError::BadOversample {
+                oversample: 9,
+                block: 4
+            }
+        );
+        assert_eq!(
+            try_sample_sort(&factor, 2, 4, vec![0u8; 35], 2, 1, &cost).unwrap_err(),
+            SortError::WrongBlockedKeyCount {
+                expected: 36,
+                got: 35
+            }
+        );
     }
 
     #[test]
