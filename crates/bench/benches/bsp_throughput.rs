@@ -1,47 +1,102 @@
-//! Wall-clock benches for the batched BSP executor (E16): serial vs
-//! parallel single-vector execution, batched throughput as the batch
-//! grows, compile-from-scratch vs program-cache hit, and the optimized
-//! program against the raw compile.
+//! Wall-clock benches for the batched BSP executor (E16) and the flat
+//! kernel tier (E19): serial vs parallel single-vector execution,
+//! batched throughput as the batch grows, interpreter vs lowered
+//! kernel, compile-from-scratch vs program-cache hit, and the
+//! optimized program against the raw compile.
+//!
+//! Groups share one set of compiled + lowered fixtures (built once in a
+//! `OnceLock`) so criterion timing never includes compilation and every
+//! group benches the *same* program bytes. The only intentional
+//! exception is `program_cache/compile_cold`, whose subject *is* the
+//! compile.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pns_graph::factories;
-use pns_simulator::bsp::BspMachine;
-use pns_simulator::{compile, Hypercube2Sorter, Machine, ProgramCache, ShearSorter};
+use pns_graph::{factories, Graph};
+use pns_simulator::bsp::{BspMachine, CompiledProgram};
+use pns_simulator::{
+    compile, ExecScratch, Hypercube2Sorter, KernelProgram, Machine, ProgramCache, ScratchPool,
+    ShearSorter,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::OnceLock;
 
 fn random_keys(len: u64, seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len).map(|_| rng.random_range(0..1_000_000)).collect()
 }
 
+/// Everything the groups execute, compiled and lowered exactly once.
+struct Fixtures {
+    /// Relabeled Petersen graph, squared: the batched-throughput shape.
+    petersen: Graph,
+    petersen_program: CompiledProgram,
+    petersen_kernel: KernelProgram,
+    /// 3-ary 3-cube (`path(3)`, r = 3): the E19 kernel-speedup shape.
+    cube3: Graph,
+    cube3_program: CompiledProgram,
+    cube3_kernel: KernelProgram,
+    /// 10-cube: the single-vector parallel-threshold shape.
+    k2: Graph,
+    k2_program: CompiledProgram,
+    k2_optimized: CompiledProgram,
+}
+
+fn fixtures() -> &'static Fixtures {
+    static FIXTURES: OnceLock<Fixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let petersen = Machine::prepare_factor(&factories::petersen());
+        let petersen_program = compile(&petersen, 2, &ShearSorter);
+        let petersen_kernel = BspMachine::new(&petersen, 2)
+            .lower(&petersen_program)
+            .expect("petersen program validates");
+        let cube3 = factories::path(3);
+        let cube3_program = compile(&cube3, 3, &ShearSorter);
+        let cube3_kernel = BspMachine::new(&cube3, 3)
+            .lower(&cube3_program)
+            .expect("cube program validates");
+        let k2 = factories::k2();
+        let k2_program = compile(&k2, 10, &Hypercube2Sorter);
+        let k2_optimized = k2_program.optimized();
+        Fixtures {
+            petersen,
+            petersen_program,
+            petersen_kernel,
+            cube3,
+            cube3_program,
+            cube3_kernel,
+            k2,
+            k2_program,
+            k2_optimized,
+        }
+    })
+}
+
 fn bench_single_vector(c: &mut Criterion) {
     let mut group = c.benchmark_group("bsp_single");
-    let factor = factories::k2();
+    let fx = fixtures();
     let r = 10; // 1024 nodes: past PAR_THRESHOLD, rounds go parallel.
-    let bsp = BspMachine::new(&factor, r);
-    let program = compile(&factor, r, &Hypercube2Sorter);
-    let optimized = program.optimized();
+    let bsp = BspMachine::new(&fx.k2, r);
     let keys = random_keys(1 << r, 7);
     group.bench_function("serial_run", |b| {
         b.iter(|| {
             let mut k = keys.clone();
-            bsp.run(&mut k, black_box(&program));
+            bsp.run(&mut k, black_box(&fx.k2_program));
             black_box(k)
         });
     });
     group.bench_function("parallel_run", |b| {
         b.iter(|| {
             let mut k = keys.clone();
-            bsp.run_parallel(&mut k, black_box(&program));
+            bsp.run_parallel(&mut k, black_box(&fx.k2_program));
             black_box(k)
         });
     });
     group.bench_function("parallel_run_optimized", |b| {
         b.iter(|| {
             let mut k = keys.clone();
-            bsp.run_parallel(&mut k, black_box(&optimized));
+            bsp.run_parallel(&mut k, black_box(&fx.k2_optimized));
             black_box(k)
         });
     });
@@ -50,10 +105,8 @@ fn bench_single_vector(c: &mut Criterion) {
 
 fn bench_batched(c: &mut Criterion) {
     let mut group = c.benchmark_group("bsp_batch");
-    let factor = Machine::prepare_factor(&factories::petersen());
-    let r = 2; // 100 nodes per vector.
-    let bsp = BspMachine::new(&factor, r);
-    let program = compile(&factor, r, &ShearSorter);
+    let fx = fixtures();
+    let bsp = BspMachine::new(&fx.petersen, 2);
     let len = 100u64;
     for batch_size in [1usize, 4, 16, 64] {
         let batch: Vec<Vec<u64>> = (0..batch_size as u64)
@@ -65,12 +118,71 @@ fn bench_batched(c: &mut Criterion) {
             |b, batch| {
                 b.iter(|| {
                     let mut batch = batch.clone();
-                    black_box(bsp.run_batch(&mut batch, &program));
+                    black_box(bsp.run_batch(&mut batch, &fx.petersen_program));
+                    black_box(batch)
+                });
+            },
+        );
+        let mut pool = ScratchPool::new();
+        group.bench_with_input(
+            BenchmarkId::new("run_kernel_batch", batch_size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut batch = batch.clone();
+                    black_box(bsp.run_kernel_batch(&mut batch, &fx.petersen_kernel, &mut pool));
                     black_box(batch)
                 });
             },
         );
     }
+    group.finish();
+}
+
+/// Interpreter vs lowered kernel on the E19 reference workload: the
+/// 3-ary 3-cube, single vectors and a 16-vector batch. The acceptance
+/// bar (ISSUE 5) is kernel ≥ 1.5× over `run_parallel` here — the
+/// kernel skips per-run validation, allocates nothing after warm-up,
+/// and dispatches each round on a one-byte class tag.
+fn bench_kernel_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_speedup");
+    let fx = fixtures();
+    let bsp = BspMachine::new(&fx.cube3, 3);
+    let len = fx.cube3_kernel.shape().len();
+    let keys = random_keys(len, 41);
+
+    group.bench_function("interpreter_run_parallel", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            bsp.run_parallel(&mut k, black_box(&fx.cube3_program));
+            black_box(k)
+        });
+    });
+    let mut scratch = ExecScratch::new();
+    group.bench_function("kernel_run", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            bsp.run_kernel(&mut k, black_box(&fx.cube3_kernel), &mut scratch);
+            black_box(k)
+        });
+    });
+
+    let batch: Vec<Vec<u64>> = (0..16u64).map(|s| random_keys(len, 43 + s)).collect();
+    group.bench_function("interpreter_run_batch_16", |b| {
+        b.iter(|| {
+            let mut batch = batch.clone();
+            black_box(bsp.run_batch(&mut batch, &fx.cube3_program));
+            black_box(batch)
+        });
+    });
+    let mut pool = ScratchPool::new();
+    group.bench_function("kernel_run_batch_16", |b| {
+        b.iter(|| {
+            let mut batch = batch.clone();
+            black_box(bsp.run_kernel_batch(&mut batch, &fx.cube3_kernel, &mut pool));
+            black_box(batch)
+        });
+    });
     group.finish();
 }
 
@@ -82,27 +194,25 @@ fn bench_batched(c: &mut Criterion) {
 /// (one `Validate` + one `BatchScheduled` event per batch).
 fn bench_obs_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
-    let factor = Machine::prepare_factor(&factories::petersen());
-    let r = 2;
-    let program = compile(&factor, r, &ShearSorter);
+    let fx = fixtures();
     let batch: Vec<Vec<u64>> = (0..16).map(|s| random_keys(100, 23 + s)).collect();
 
-    let bsp = BspMachine::new(&factor, r);
+    let bsp = BspMachine::new(&fx.petersen, 2);
     group.bench_function("run_batch_disabled_logger", |b| {
         b.iter(|| {
             let mut batch = batch.clone();
-            black_box(bsp.run_batch(&mut batch, &program));
+            black_box(bsp.run_batch(&mut batch, &fx.petersen_program));
             black_box(batch)
         });
     });
 
-    let mut traced = BspMachine::new(&factor, r);
+    let mut traced = BspMachine::new(&fx.petersen, 2);
     let (sink, _reader) = pns_obs::MemorySink::with_capacity(1 << 20);
     traced.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
     group.bench_function("run_batch_memory_sink", |b| {
         b.iter(|| {
             let mut batch = batch.clone();
-            black_box(traced.run_batch(&mut batch, &program));
+            black_box(traced.run_batch(&mut batch, &fx.petersen_program));
             black_box(batch)
         });
     });
@@ -118,17 +228,15 @@ fn bench_obs_overhead(c: &mut Criterion) {
 fn bench_fault_overhead(c: &mut Criterion) {
     use pns_simulator::{FaultPlan, RetryPolicy};
     let mut group = c.benchmark_group("fault_overhead");
-    let factor = Machine::prepare_factor(&factories::petersen());
-    let r = 2;
-    let program = compile(&factor, r, &ShearSorter);
+    let fx = fixtures();
     let batch: Vec<Vec<u64>> = (0..16).map(|s| random_keys(100, 31 + s)).collect();
-    let bsp = BspMachine::new(&factor, r);
+    let bsp = BspMachine::new(&fx.petersen, 2);
     let policy = RetryPolicy::default();
 
     group.bench_function("run_batch_plain", |b| {
         b.iter(|| {
             let mut batch = batch.clone();
-            black_box(bsp.run_batch(&mut batch, &program));
+            black_box(bsp.run_batch(&mut batch, &fx.petersen_program));
             black_box(batch)
         });
     });
@@ -137,7 +245,12 @@ fn bench_fault_overhead(c: &mut Criterion) {
     group.bench_function("run_batch_faults_disabled", |b| {
         b.iter(|| {
             let mut batch = batch.clone();
-            black_box(bsp.run_batch_with_faults(&mut batch, &program, &disabled, &policy));
+            black_box(bsp.run_batch_with_faults(
+                &mut batch,
+                &fx.petersen_program,
+                &disabled,
+                &policy,
+            ));
             black_box(batch)
         });
     });
@@ -146,7 +259,12 @@ fn bench_fault_overhead(c: &mut Criterion) {
     group.bench_function("run_batch_faults_rate_1000", |b| {
         b.iter(|| {
             let mut batch = batch.clone();
-            black_box(bsp.run_batch_with_faults(&mut batch, &program, &enabled, &policy));
+            black_box(bsp.run_batch_with_faults(
+                &mut batch,
+                &fx.petersen_program,
+                &enabled,
+                &policy,
+            ));
             black_box(batch)
         });
     });
@@ -157,6 +275,7 @@ fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("program_cache");
     let factor = factories::k2();
     let r = 8;
+    // Intentionally *not* a fixture: the subject is the compile itself.
     group.bench_function("compile_cold", |b| {
         b.iter(|| black_box(compile(&factor, r, &Hypercube2Sorter)));
     });
@@ -165,6 +284,10 @@ fn bench_cache(c: &mut Criterion) {
     group.bench_function("cache_hit", |b| {
         b.iter(|| black_box(cache.get_or_compile(&factor, r, &Hypercube2Sorter)));
     });
+    let _warm_kernel = cache.get_or_compile_kernel(&factor, r, &Hypercube2Sorter);
+    group.bench_function("kernel_cache_hit", |b| {
+        b.iter(|| black_box(cache.get_or_compile_kernel(&factor, r, &Hypercube2Sorter)));
+    });
     group.finish();
 }
 
@@ -172,6 +295,7 @@ criterion_group!(
     benches,
     bench_single_vector,
     bench_batched,
+    bench_kernel_speedup,
     bench_obs_overhead,
     bench_fault_overhead,
     bench_cache

@@ -31,6 +31,7 @@ pub mod experiments {
     pub mod e16_throughput;
     pub mod e17_observability;
     pub mod e18_fault_tolerance;
+    pub mod e19_kernel_speedup;
 }
 
 pub use report::Report;
@@ -61,6 +62,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e16_throughput", e16_throughput::run),
         ("e17_observability", e17_observability::run),
         ("e18_fault_tolerance", e18_fault_tolerance::run),
+        ("e19_kernel_speedup", e19_kernel_speedup::run),
         ("a01_labeling", a01_labeling::run),
         ("a02_pg2_sorter", a02_pg2_sorter::run),
         ("a03_sorting_network", a03_sorting_network::run),

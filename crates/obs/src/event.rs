@@ -17,8 +17,10 @@
 //! * **Merge engine** ([`Event::MergePhase`]) — emitted by
 //!   `pns-core::merge` once per Step 1–4 of each multiway merge, with
 //!   the recursion depth.
-//! * **Program cache** ([`Event::CacheLookup`]) — one per lookup, with
-//!   the structural fingerprint of the requested program.
+//! * **Program cache** ([`Event::CacheLookup`], [`Event::KernelLowered`])
+//!   — one per lookup, with the structural fingerprint of the requested
+//!   program; one per program lowered to the flat kernel tier, with the
+//!   lowered round/op shape.
 //! * **Fault layer** ([`Event::FaultInjected`], [`Event::FaultDetected`],
 //!   [`Event::RetryRound`], [`Event::LaneQuarantined`]) — emitted by
 //!   `pns-simulator`'s fault-injecting executor: one per fired fault
@@ -78,6 +80,20 @@ pub enum Event {
         /// sorter) — display identity only; the cache compares full
         /// keys.
         key_fingerprint: u64,
+    },
+    /// A compiled program was lowered to the flat structure-of-arrays
+    /// kernel tier (cache misses on the kernel cache).
+    KernelLowered {
+        /// Rounds in the lowered kernel (= the source program's rounds).
+        rounds: u64,
+        /// Rounds that lowered to pure compare-exchange pair lists.
+        compare_rounds: u64,
+        /// Rounds that lowered to packed route micro-ops.
+        route_rounds: u64,
+        /// Compare-exchange pairs across all compare rounds.
+        cx_pairs: u64,
+        /// Packed micro-ops across all route rounds.
+        micro_ops: u64,
     },
     /// A batch of independent key vectors was scheduled onto the
     /// batched executor.
@@ -164,6 +180,7 @@ impl Event {
             Event::S2Unit { .. } => "s2_unit",
             Event::RouteUnit { .. } => "route_unit",
             Event::CacheLookup { .. } => "cache_lookup",
+            Event::KernelLowered { .. } => "kernel_lowered",
             Event::BatchScheduled { .. } => "batch_scheduled",
             Event::Validate { .. } => "validate",
             Event::FaultInjected { .. } => "fault_injected",
@@ -238,6 +255,14 @@ mod tests {
             Event::CacheLookup {
                 hit: false,
                 key_fingerprint: 0,
+            }
+            .kind(),
+            Event::KernelLowered {
+                rounds: 1,
+                compare_rounds: 1,
+                route_rounds: 0,
+                cx_pairs: 4,
+                micro_ops: 0,
             }
             .kind(),
             Event::BatchScheduled { batch: 1, lanes: 1 }.kind(),

@@ -138,6 +138,8 @@ pub struct ObsSummary {
     pub cache_hits: u64,
     /// Cache lookups that compiled.
     pub cache_misses: u64,
+    /// Programs lowered to the flat kernel tier.
+    pub kernels_lowered: u64,
     /// Batches scheduled.
     pub batches: u64,
     /// Vectors across all batches.
@@ -210,6 +212,7 @@ impl ObsSummary {
                     self.cache_misses += 1;
                 }
             }
+            Event::KernelLowered { .. } => self.kernels_lowered += 1,
             Event::BatchScheduled { batch, lanes } => {
                 self.batches += 1;
                 self.batch_vectors += batch;
@@ -297,11 +300,12 @@ impl fmt::Display for ObsSummary {
         )?;
         writeln!(
             f,
-            "  {:<22} {:>7} hits {:>7} misses  (ratio {:.3})",
+            "  {:<22} {:>7} hits {:>7} misses  (ratio {:.3}, {} kernels lowered)",
             "cache lookups",
             self.cache_hits,
             self.cache_misses,
-            self.cache_hit_ratio()
+            self.cache_hit_ratio(),
+            self.kernels_lowered
         )?;
         writeln!(
             f,

@@ -657,6 +657,15 @@ impl BspMachine {
         assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
         let n_nodes = keys.len();
         let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; n_nodes];
+        // Per-round discipline tracking, hoisted out of the loop and
+        // cleared per round so validation scratch is allocated once.
+        let mut key_touched = vec![false; n_nodes];
+        let mut slot_written: HashMap<(u64, u8), ()> = HashMap::new();
+        let mut edge_used: HashMap<(u64, u64), ()> = HashMap::new();
+        // Reads of transit slots happen against the *previous* round's
+        // state: buffer incoming values and commit after the round.
+        let mut incoming: Vec<(u64, u8, K)> = Vec::new();
+        let mut cleared: Vec<(u64, u8)> = Vec::new();
 
         for (ri, round) in program.rounds.iter().enumerate() {
             self.logger.log(|| Event::RoundStart {
@@ -664,14 +673,10 @@ impl BspMachine {
                 ops: round.len() as u64,
                 parallel: false,
             });
-            // Per-round discipline tracking.
-            let mut key_touched = vec![false; n_nodes];
-            let mut slot_written: HashMap<(u64, u8), ()> = HashMap::new();
-            let mut edge_used: HashMap<(u64, u64), ()> = HashMap::new();
-            // Reads of transit slots happen against the *previous* round's
-            // state: buffer incoming values and commit after the round.
-            let mut incoming: Vec<(u64, u8, K)> = Vec::new();
-            let mut cleared: Vec<(u64, u8)> = Vec::new();
+            key_touched.fill(false);
+            slot_written.clear();
+            edge_used.clear();
+            cleared.clear();
 
             let touch_key = |v: u64, key_touched: &mut [bool]| {
                 assert!(
@@ -760,7 +765,7 @@ impl BspMachine {
                 }
             }
             // Commit moves.
-            for (to, slot, payload) in incoming {
+            for (to, slot, payload) in incoming.drain(..) {
                 let dst = &mut transit[to as usize][slot as usize];
                 assert!(
                     dst.is_none(),
@@ -768,7 +773,7 @@ impl BspMachine {
                 );
                 *dst = Some(payload);
             }
-            let _ = cleared;
+            let _ = &cleared;
             self.logger.log(|| Event::RoundEnd { round: ri as u64 });
         }
         assert!(
@@ -1029,7 +1034,9 @@ impl BspMachine {
         }
         self.logger.log(|| Event::BatchScheduled {
             batch: batch.len() as u64,
-            lanes: rayon::current_num_threads() as u64,
+            // A batch smaller than the worker pool occupies one lane per
+            // vector, not one per thread.
+            lanes: batch.len().min(rayon::current_num_threads()) as u64,
         });
         if batch.len() <= 1 {
             for keys in batch.iter_mut() {
@@ -1167,6 +1174,19 @@ pub(crate) fn exec_round_serial<K: Ord + Clone>(
     round: &[Op],
 ) {
     let mut incoming: Vec<(usize, usize, K)> = Vec::new();
+    exec_round_serial_scratch(keys, transit, round, &mut incoming);
+}
+
+/// [`exec_round_serial`] with a caller-owned incoming buffer, so hot
+/// loops (whole-program execution, fault segments) allocate the buffer
+/// once instead of once per round.
+pub(crate) fn exec_round_serial_scratch<K: Ord + Clone>(
+    keys: &mut [K],
+    transit: &mut [[Option<K>; 2]],
+    round: &[Op],
+    incoming: &mut Vec<(usize, usize, K)>,
+) {
+    incoming.clear();
     for op in round {
         match *op {
             Op::CompareExchange { a, b, min_to_a } => {
@@ -1209,7 +1229,7 @@ pub(crate) fn exec_round_serial<K: Ord + Clone>(
             }
         }
     }
-    for (to, slot, payload) in incoming {
+    for (to, slot, payload) in incoming.drain(..) {
         transit[to][slot] = Some(payload);
     }
 }
@@ -1217,8 +1237,9 @@ pub(crate) fn exec_round_serial<K: Ord + Clone>(
 /// Run a whole validated program serially on one key vector.
 pub(crate) fn exec_program<K: Ord + Clone>(keys: &mut [K], program: &CompiledProgram) {
     let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
+    let mut incoming: Vec<(usize, usize, K)> = Vec::new();
     for round in &program.rounds {
-        exec_round_serial(keys, &mut transit, round);
+        exec_round_serial_scratch(keys, &mut transit, round, &mut incoming);
     }
 }
 
@@ -1997,7 +2018,7 @@ mod tests {
             scheduled,
             vec![Event::BatchScheduled {
                 batch: 5,
-                lanes: rayon::current_num_threads() as u64,
+                lanes: 5.min(rayon::current_num_threads() as u64),
             }]
         );
     }

@@ -15,6 +15,7 @@
 //! of the same identity for display and logging only.
 
 use crate::bsp::{compile, CompiledProgram};
+use crate::kernel::KernelProgram;
 use crate::sorters::Pg2Sorter;
 use pns_graph::Graph;
 use pns_obs::{Event, EventLogger};
@@ -138,11 +139,17 @@ impl fmt::Display for CacheStats {
 }
 
 /// Thread-safe cache of compiled programs with hit/miss accounting.
+/// Lowered kernels ([`KernelProgram`]) are cached alongside, under the
+/// same keys, with their own hit/miss counters — [`CacheStats`] and the
+/// program counters are untouched by kernel traffic.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
     programs: RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>,
+    kernels: RwLock<HashMap<ProgramKey, Arc<KernelProgram>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    kernel_hits: AtomicU64,
+    kernel_misses: AtomicU64,
     logger: EventLogger,
 }
 
@@ -187,6 +194,66 @@ impl ProgramCache {
         self.lookup(ProgramKey::new(factor, r, sorter, true), || {
             compile(factor, r, sorter).optimized()
         })
+    }
+
+    /// The compiled program **and** its lowered kernel for
+    /// `(factor, r, sorter)`, compiling and lowering on the first
+    /// request. The program side behaves exactly like
+    /// [`ProgramCache::get_or_compile`] (one lookup, same counters); the
+    /// kernel side is cached under the same key with its own counters
+    /// and emits one `KernelLowered` event per lowering.
+    pub fn get_or_compile_kernel(
+        &self,
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+    ) -> (Arc<CompiledProgram>, Arc<KernelProgram>) {
+        let program = self.get_or_compile(factor, r, sorter);
+        let kernel = self.kernel_lookup(ProgramKey::new(factor, r, sorter, false), &program);
+        (program, kernel)
+    }
+
+    /// As [`ProgramCache::get_or_compile_kernel`], for the optimized
+    /// program ([`CompiledProgram::optimized`]). Cached separately from
+    /// the unoptimized kernel.
+    pub fn get_or_compile_kernel_optimized(
+        &self,
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+    ) -> (Arc<CompiledProgram>, Arc<KernelProgram>) {
+        let program = self.get_or_compile_optimized(factor, r, sorter);
+        let kernel = self.kernel_lookup(ProgramKey::new(factor, r, sorter, true), &program);
+        (program, kernel)
+    }
+
+    fn kernel_lookup(&self, key: ProgramKey, program: &CompiledProgram) -> Arc<KernelProgram> {
+        if let Some(hit) = self
+            .kernels
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Lower outside the lock, like `lookup` compiles outside it.
+        // Cached programs come from `compile`, whose output satisfies
+        // the machine-model invariants lowering assumes.
+        let kernel = Arc::new(KernelProgram::lower(program));
+        self.kernel_misses.fetch_add(1, Ordering::Relaxed);
+        self.logger.log(|| Event::KernelLowered {
+            rounds: kernel.rounds() as u64,
+            compare_rounds: kernel.compare_rounds() as u64,
+            route_rounds: kernel.route_rounds() as u64,
+            cx_pairs: kernel.cx_pair_count() as u64,
+            micro_ops: kernel.micro_op_count() as u64,
+        });
+        self.kernels
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::clone(&kernel));
+        kernel
     }
 
     fn lookup(
@@ -234,6 +301,27 @@ impl ProgramCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Kernel requests served from the cache.
+    #[must_use]
+    pub fn kernel_hits(&self) -> u64 {
+        self.kernel_hits.load(Ordering::Relaxed)
+    }
+
+    /// Kernel requests that had to lower.
+    #[must_use]
+    pub fn kernel_misses(&self) -> u64 {
+        self.kernel_misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct lowered kernels held.
+    #[must_use]
+    pub fn kernel_len(&self) -> usize {
+        self.kernels
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
     /// Consistent snapshot of the accounting, for tables and logs.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -259,9 +347,14 @@ impl ProgramCache {
         self.len() == 0
     }
 
-    /// Drop all cached programs (counters keep their totals).
+    /// Drop all cached programs and kernels (counters keep their
+    /// totals).
     pub fn clear(&self) {
         self.programs
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.kernels
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
@@ -397,5 +490,63 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         let _ = cache.get_or_compile(&factor, 2, &ShearSorter);
         assert_eq!(cache.misses(), 2, "cleared entries recompile");
+    }
+
+    #[test]
+    fn kernel_requests_share_one_lowering_and_leave_program_stats_alone() {
+        let cache = ProgramCache::new();
+        let factor = factories::path(3);
+        let (p1, k1) = cache.get_or_compile_kernel(&factor, 2, &ShearSorter);
+        let (p2, k2) = cache.get_or_compile_kernel(&factor, 2, &ShearSorter);
+        assert!(Arc::ptr_eq(&p1, &p2), "program comes from the same entry");
+        assert!(Arc::ptr_eq(&k1, &k2), "kernel is lowered exactly once");
+        assert_eq!(k1.rounds(), p1.rounds());
+        assert_eq!((cache.kernel_hits(), cache.kernel_misses()), (1, 1));
+        assert_eq!(cache.kernel_len(), 1);
+        // Kernel traffic rides on the same program lookups — the
+        // program-side stats see exactly one miss then one hit, the
+        // same deltas plain `get_or_compile` would produce.
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        // Optimized kernels are distinct cache entries.
+        let (_p3, k3) = cache.get_or_compile_kernel_optimized(&factor, 2, &ShearSorter);
+        assert!(!Arc::ptr_eq(&k1, &k3));
+        assert_eq!(cache.kernel_len(), 2);
+        cache.clear();
+        assert_eq!(cache.kernel_len(), 0, "clear drops kernels too");
+    }
+
+    #[test]
+    fn kernel_misses_emit_one_lowered_event() {
+        let (sink, reader) = pns_obs::MemorySink::with_capacity(16);
+        let mut cache = ProgramCache::new();
+        cache.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
+        let factor = factories::path(3);
+        let (program, kernel) = cache.get_or_compile_kernel(&factor, 2, &ShearSorter);
+        let _ = cache.get_or_compile_kernel(&factor, 2, &ShearSorter);
+        cache.logger.flush();
+        let lowered: Vec<_> = reader
+            .events()
+            .iter()
+            .map(|e| e.event)
+            .filter(|e| e.kind() == "kernel_lowered")
+            .collect();
+        assert_eq!(
+            lowered,
+            vec![pns_obs::Event::KernelLowered {
+                rounds: program.rounds() as u64,
+                compare_rounds: kernel.compare_rounds() as u64,
+                route_rounds: kernel.route_rounds() as u64,
+                cx_pairs: kernel.cx_pair_count() as u64,
+                micro_ops: kernel.micro_op_count() as u64,
+            }],
+            "the second request is a hit and stays silent"
+        );
     }
 }

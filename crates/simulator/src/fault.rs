@@ -49,7 +49,11 @@ use pns_fault::{FaultKind, FaultPlan, FaultSite, OpClass, RetryPolicy};
 use pns_obs::Event;
 use pns_order::radix::Shape;
 
-use crate::bsp::{exec_program, exec_round_serial, BspMachine, CompiledProgram, Op, ProgramError};
+use crate::bsp::{
+    exec_program, exec_round_serial_scratch, BspMachine, CertPoint, CompiledProgram, Op,
+    ProgramError,
+};
+use crate::kernel::{exec_kernel_round, ExecScratch, KernelProgram, RoundClass};
 use crate::verify::subgraphs_snake_sorted;
 use pns_core::RetryCounters;
 
@@ -171,11 +175,12 @@ struct Segment {
 }
 
 /// Split a program into checkpointable segments at its certificate
-/// boundaries. Programs without certificates (e.g. built via
+/// boundaries. Works off the certificate list and the round count
+/// alone, so interpreted and lowered programs (which share both, 1:1)
+/// segment identically. Programs without certificates (e.g. built via
 /// `CompiledProgram::from_rounds`) become a single unchecked segment —
 /// the executor then runs open-loop and cannot detect anything.
-fn segments(program: &CompiledProgram) -> Vec<Segment> {
-    let certs = program.cert_points();
+fn segments(certs: &[CertPoint], rounds: usize) -> Vec<Segment> {
     let mut out = Vec::with_capacity(certs.len() + 1);
     let mut start = 0usize;
     for (i, c) in certs.iter().enumerate() {
@@ -186,136 +191,211 @@ fn segments(program: &CompiledProgram) -> Vec<Segment> {
         });
         start = c.round as usize;
     }
-    if start < program.rounds() || certs.is_empty() {
+    if start < rounds || certs.is_empty() {
         out.push(Segment {
             start,
-            end: program.rounds(),
+            end: rounds,
             check: None,
         });
     }
     out
 }
 
-/// Execute one round with fault injection. Semantics match
-/// `exec_round_serial` except at fired sites; the transit occupancy
-/// schedule is identical either way.
-fn exec_round_faulty<K: Ord + Clone>(
-    keys: &mut [K],
-    transit: &mut [[Option<K>; 2]],
-    round: &[Op],
-    round_idx: u64,
-    plan: &FaultPlan,
-    fired: &mut HashSet<FaultSite>,
-    injected: &mut Vec<InjectedFault>,
-) {
-    let mut incoming: Vec<(usize, usize, K)> = Vec::new();
-    for (oi, op) in round.iter().enumerate() {
+/// Fault-decision state threaded through the round executors: the plan
+/// plus the per-run fired set and injection log.
+struct FaultCtx<'a> {
+    plan: &'a FaultPlan,
+    fired: &'a mut HashSet<FaultSite>,
+    injected: &'a mut Vec<InjectedFault>,
+}
+
+impl FaultCtx<'_> {
+    /// Decide whether the site `(round_idx, oi)` fires under the plan,
+    /// honouring the transient model (a site that already fired never
+    /// fires again, so retried segments execute clean) and recording
+    /// what fired. Keyed purely by `(round, op)` indices, which lowering
+    /// preserves — so the interpreter and kernel fault paths draw the
+    /// identical decision sequence from the same plan.
+    fn decide(&mut self, round_idx: u64, oi: usize, class: OpClass) -> Option<FaultKind> {
         let site = FaultSite {
             round: round_idx,
             op: oi as u64,
         };
+        let fault = if self.fired.contains(&site) {
+            None
+        } else {
+            self.plan.decide(site, class)
+        };
+        if let Some(kind) = fault {
+            self.fired.insert(site);
+            self.injected.push(InjectedFault { site, kind });
+        }
+        fault
+    }
+}
+
+/// Apply one op under an (optional) fired fault. Semantics match
+/// `exec_round_serial` except at fired sites; the transit occupancy
+/// schedule is identical either way. Shared by the interpreter and
+/// kernel fault paths, so their fault semantics cannot drift apart.
+fn apply_op_faulty<K: Ord + Clone>(
+    op: &Op,
+    fault: Option<FaultKind>,
+    keys: &mut [K],
+    transit: &mut [[Option<K>; 2]],
+    incoming: &mut Vec<(usize, usize, K)>,
+) {
+    match *op {
+        Op::CompareExchange { a, b, min_to_a } => {
+            let min_to_a = if fault.is_some() { !min_to_a } else { min_to_a };
+            let (ai, bi) = (a as usize, b as usize);
+            let a_has_min = keys[ai] <= keys[bi];
+            if a_has_min != min_to_a {
+                keys.swap(ai, bi);
+            }
+        }
+        Op::Move {
+            from,
+            to,
+            slot,
+            from_key,
+        } => {
+            let (fi, si) = (from as usize, slot as usize);
+            // The source slot is consumed even when the payload is
+            // dropped — the wire fired, the message was lost.
+            let payload = if from_key {
+                keys[fi].clone()
+            } else {
+                transit[fi][si].take().expect("validated: slot occupied")
+            };
+            let payload = if fault.is_some() {
+                // Dropped in flight: the receiver's slot latches a
+                // stale copy of its own resident key.
+                keys[to as usize].clone()
+            } else {
+                payload
+            };
+            incoming.push((to as usize, si, payload));
+        }
+        Op::Resolve {
+            node,
+            slot,
+            keep_min,
+        } => {
+            let (ni, si) = (node as usize, slot as usize);
+            let arrived = transit[ni][si].take().expect("validated: slot occupied");
+            if fault.is_none() {
+                let resident = &mut keys[ni];
+                let keep_arrived = if keep_min {
+                    arrived < *resident
+                } else {
+                    arrived > *resident
+                };
+                if keep_arrived {
+                    *resident = arrived;
+                }
+            }
+            // Stalled: the arrived value is discarded, the resident
+            // key survives; the slot is still cleared on schedule.
+        }
+    }
+}
+
+/// Execute one interpreted round with fault injection.
+fn exec_round_faulty<K: Ord + Clone>(
+    keys: &mut [K],
+    transit: &mut [[Option<K>; 2]],
+    incoming: &mut Vec<(usize, usize, K)>,
+    round: &[Op],
+    round_idx: u64,
+    ctx: &mut FaultCtx<'_>,
+) {
+    incoming.clear();
+    for (oi, op) in round.iter().enumerate() {
         let class = match op {
             Op::CompareExchange { .. } => OpClass::Compare,
             Op::Move { .. } => OpClass::Route,
             Op::Resolve { .. } => OpClass::Resolve,
         };
-        // Transient model: a site that already fired never fires again,
-        // so retried segments execute clean.
-        let fault = if fired.contains(&site) {
-            None
-        } else {
-            plan.decide(site, class)
-        };
-        if let Some(kind) = fault {
-            fired.insert(site);
-            injected.push(InjectedFault { site, kind });
-        }
-        match *op {
-            Op::CompareExchange { a, b, min_to_a } => {
-                let min_to_a = if fault.is_some() { !min_to_a } else { min_to_a };
-                let (ai, bi) = (a as usize, b as usize);
-                let a_has_min = keys[ai] <= keys[bi];
-                if a_has_min != min_to_a {
-                    keys.swap(ai, bi);
-                }
-            }
-            Op::Move {
-                from,
-                to,
-                slot,
-                from_key,
-            } => {
-                let (fi, si) = (from as usize, slot as usize);
-                // The source slot is consumed even when the payload is
-                // dropped — the wire fired, the message was lost.
-                let payload = if from_key {
-                    keys[fi].clone()
-                } else {
-                    transit[fi][si].take().expect("validated: slot occupied")
-                };
-                let payload = if fault.is_some() {
-                    // Dropped in flight: the receiver's slot latches a
-                    // stale copy of its own resident key.
-                    keys[to as usize].clone()
-                } else {
-                    payload
-                };
-                incoming.push((to as usize, si, payload));
-            }
-            Op::Resolve {
-                node,
-                slot,
-                keep_min,
-            } => {
-                let (ni, si) = (node as usize, slot as usize);
-                let arrived = transit[ni][si].take().expect("validated: slot occupied");
-                if fault.is_none() {
-                    let resident = &mut keys[ni];
-                    let keep_arrived = if keep_min {
-                        arrived < *resident
-                    } else {
-                        arrived > *resident
-                    };
-                    if keep_arrived {
-                        *resident = arrived;
-                    }
-                }
-                // Stalled: the arrived value is discarded, the resident
-                // key survives; the slot is still cleared on schedule.
-            }
-        }
+        let fault = ctx.decide(round_idx, oi, class);
+        apply_op_faulty(op, fault, keys, transit, incoming);
     }
-    for (to, slot, payload) in incoming {
+    for (to, slot, payload) in incoming.drain(..) {
         transit[to][slot] = Some(payload);
     }
 }
 
-/// Core checkpoint/retry loop, free of `&BspMachine` so batch lanes can
-/// run it from worker threads without sharing the (single-threaded)
-/// event logger. Returns the report plus `Some((boundary, attempts))`
-/// if a segment exhausted its retries.
-fn exec_with_faults<K: Ord + Clone>(
+/// Execute one *lowered* round with fault injection. Micro-ops decode
+/// back to the exact source [`Op`]s in original order (lowering is
+/// order-preserving), so the op index — and with it every
+/// [`FaultSite`] decision — matches the interpreter path exactly.
+fn exec_kernel_round_faulty<K: Ord + Clone>(
+    keys: &mut [K],
+    transit: &mut [[Option<K>; 2]],
+    incoming: &mut Vec<(usize, usize, K)>,
+    kernel: &KernelProgram,
+    ri: usize,
+    ctx: &mut FaultCtx<'_>,
+) {
+    incoming.clear();
+    let desc = kernel.rounds[ri];
+    let round_idx = ri as u64;
+    match desc.class {
+        RoundClass::Empty => {}
+        RoundClass::Compare => {
+            for (oi, gi) in (desc.start as usize..desc.end as usize).enumerate() {
+                let (a, b) = kernel.cx_pairs[gi];
+                let op = Op::CompareExchange {
+                    a: u64::from(a),
+                    b: u64::from(b),
+                    min_to_a: kernel.dir(gi),
+                };
+                let fault = ctx.decide(round_idx, oi, OpClass::Compare);
+                apply_op_faulty(&op, fault, keys, transit, incoming);
+            }
+        }
+        RoundClass::Route => {
+            for (oi, m) in kernel.micro[desc.start as usize..desc.end as usize]
+                .iter()
+                .enumerate()
+            {
+                let op = m.to_op();
+                let class = match op {
+                    Op::CompareExchange { .. } => OpClass::Compare,
+                    Op::Move { .. } => OpClass::Route,
+                    Op::Resolve { .. } => OpClass::Resolve,
+                };
+                let fault = ctx.decide(round_idx, oi, class);
+                apply_op_faulty(&op, fault, keys, transit, incoming);
+            }
+        }
+    }
+    for (to, slot, payload) in incoming.drain(..) {
+        transit[to][slot] = Some(payload);
+    }
+}
+
+/// Checkpoint/retry loop over an abstract faulty round executor, free
+/// of `&BspMachine` so batch lanes can run it from worker threads
+/// without sharing the (single-threaded) event logger. The interpreter
+/// and kernel paths both drive this loop — segmentation, checkpoints,
+/// certificate checks, probe seeds, and accounting are shared code, so
+/// the two paths can only differ in per-round execution (and that is
+/// pinned by the differential suite). Returns the report plus
+/// `Some((boundary, attempts))` if a segment exhausted its retries.
+fn checkpoint_retry_loop<K: Ord + Clone>(
     shape: Shape,
     keys: &mut [K],
-    program: &CompiledProgram,
+    certs: &[CertPoint],
+    total_rounds: usize,
     plan: &FaultPlan,
     policy: &RetryPolicy,
+    mut run_round: impl FnMut(&mut [K], &mut [[Option<K>; 2]], usize, &mut FaultCtx<'_>),
 ) -> (FaultReport, Option<(u64, u32)>) {
-    let rounds = program.round_ops();
     let mut report = FaultReport::default();
-    if !plan.is_enabled() {
-        // Fast path: plain serial execution, no hashing, no checks.
-        let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
-        for round in rounds {
-            exec_round_serial(keys, &mut transit, round);
-        }
-        report.counters.useful_rounds = rounds.len() as u64;
-        report.rounds = rounds.len() as u64;
-        return (report, None);
-    }
     let mut fired: HashSet<FaultSite> = HashSet::new();
     let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
-    for seg in segments(program) {
+    for seg in segments(certs, total_rounds) {
         // Transit is empty at segment boundaries (relays complete within
         // a stage), so the key vector is the entire checkpoint.
         let checkpoint: Option<Vec<K>> =
@@ -323,16 +403,13 @@ fn exec_with_faults<K: Ord + Clone>(
         let seg_rounds = (seg.end - seg.start) as u64;
         let mut attempt: u32 = 0;
         loop {
-            for (ri, round) in rounds.iter().enumerate().take(seg.end).skip(seg.start) {
-                exec_round_faulty(
-                    keys,
-                    &mut transit,
-                    round,
-                    ri as u64,
+            for ri in seg.start..seg.end {
+                let mut ctx = FaultCtx {
                     plan,
-                    &mut fired,
-                    &mut report.injected,
-                );
+                    fired: &mut fired,
+                    injected: &mut report.injected,
+                };
+                run_round(keys, &mut transit, ri, &mut ctx);
             }
             debug_assert!(
                 transit.iter().all(|t| t[0].is_none() && t[1].is_none()),
@@ -383,6 +460,79 @@ fn exec_with_faults<K: Ord + Clone>(
     }
     report.rounds = report.counters.total_rounds();
     (report, None)
+}
+
+/// Interpreter fault executor (see [`checkpoint_retry_loop`]).
+fn exec_with_faults<K: Ord + Clone>(
+    shape: Shape,
+    keys: &mut [K],
+    program: &CompiledProgram,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (FaultReport, Option<(u64, u32)>) {
+    let rounds = program.round_ops();
+    let mut report = FaultReport::default();
+    if !plan.is_enabled() {
+        // Fast path: plain serial execution, no hashing, no checks.
+        let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
+        let mut incoming: Vec<(usize, usize, K)> = Vec::new();
+        for round in rounds {
+            exec_round_serial_scratch(keys, &mut transit, round, &mut incoming);
+        }
+        report.counters.useful_rounds = rounds.len() as u64;
+        report.rounds = rounds.len() as u64;
+        return (report, None);
+    }
+    let mut incoming: Vec<(usize, usize, K)> = Vec::new();
+    checkpoint_retry_loop(
+        shape,
+        keys,
+        program.cert_points(),
+        rounds.len(),
+        plan,
+        policy,
+        |keys, transit, ri, ctx| {
+            exec_round_faulty(keys, transit, &mut incoming, &rounds[ri], ri as u64, ctx);
+        },
+    )
+}
+
+/// Kernel-path fault executor: the same [`checkpoint_retry_loop`] over
+/// [`exec_kernel_round_faulty`]. `scratch` serves the disabled-plan
+/// fast path (identical to [`BspMachine::run_kernel`], zero allocations
+/// when warm); the enabled path allocates its own checkpoints like the
+/// interpreter does.
+fn exec_kernel_with_faults<K: Ord + Clone>(
+    shape: Shape,
+    keys: &mut [K],
+    kernel: &KernelProgram,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    scratch: &mut ExecScratch<K>,
+) -> (FaultReport, Option<(u64, u32)>) {
+    let mut report = FaultReport::default();
+    if !plan.is_enabled() {
+        // Fast path: plain kernel execution, no hashing, no checks.
+        scratch.reset(keys.len());
+        for ri in 0..kernel.rounds() {
+            exec_kernel_round(keys, kernel, ri, scratch);
+        }
+        report.counters.useful_rounds = kernel.rounds() as u64;
+        report.rounds = kernel.rounds() as u64;
+        return (report, None);
+    }
+    let mut incoming: Vec<(usize, usize, K)> = Vec::new();
+    checkpoint_retry_loop(
+        shape,
+        keys,
+        kernel.cert_points(),
+        kernel.rounds(),
+        plan,
+        policy,
+        |keys, transit, ri, ctx| {
+            exec_kernel_round_faulty(keys, transit, &mut incoming, kernel, ri, ctx);
+        },
+    )
 }
 
 /// One batch lane: distinct `&mut` targets for the parallel workers,
@@ -462,6 +612,55 @@ impl BspMachine {
         }
     }
 
+    /// [`BspMachine::run_with_faults`] on the kernel tier: execute a
+    /// lowered program under `plan` with the same segmentation,
+    /// checkpoints, certificate checks, and probe seeds as the
+    /// interpreter path. Fault sites are keyed by `(round, op)` indices,
+    /// which lowering preserves, so the same `plan` makes the same
+    /// decisions on either path — reports and outputs are bit-identical
+    /// to [`BspMachine::run_with_faults`] on the source program.
+    ///
+    /// The kernel is already validated (lowering validates), so the only
+    /// input check left is the key count. With a disabled plan this is
+    /// [`BspMachine::run_kernel`] plus report assembly — zero heap
+    /// allocations once `scratch` is warm.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::WrongKeyCount`] if `keys` is not one per node,
+    /// [`FaultError::RetryExhausted`] as on the interpreter path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel was lowered for another shape.
+    pub fn run_kernel_with_faults<K: Ord + Clone>(
+        &self,
+        keys: &mut [K],
+        kernel: &KernelProgram,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        scratch: &mut ExecScratch<K>,
+    ) -> Result<FaultReport, FaultError> {
+        assert_eq!(
+            kernel.shape(),
+            self.shape(),
+            "kernel lowered for another shape"
+        );
+        if keys.len() as u64 != self.shape().len() {
+            return Err(FaultError::WrongKeyCount {
+                expected: self.shape().len(),
+                got: keys.len(),
+            });
+        }
+        let (report, failed) =
+            exec_kernel_with_faults(self.shape(), keys, kernel, plan, policy, scratch);
+        self.emit_fault_events(&report, None);
+        match failed {
+            None => Ok(report),
+            Some((round, attempts)) => Err(FaultError::RetryExhausted { round, attempts }),
+        }
+    }
+
     /// Drive a batch of independent key vectors through one compiled
     /// program under fault injection, one worker per vector, each lane
     /// using `plan.fork(lane)` so lanes fault independently.
@@ -490,7 +689,9 @@ impl BspMachine {
         }
         self.logger.log(|| Event::BatchScheduled {
             batch: batch.len() as u64,
-            lanes: rayon::current_num_threads() as u64,
+            // A batch smaller than the worker pool occupies one lane per
+            // vector, not one per thread.
+            lanes: batch.len().min(rayon::current_num_threads()) as u64,
         });
         let shape = self.shape();
         let expected = shape.len();
@@ -787,6 +988,33 @@ mod tests {
             .iter()
             .all(|r| matches!(r, Err(FaultError::Invalid(_)))));
         assert_eq!(batch, before, "nothing may execute");
+    }
+
+    #[test]
+    fn kernel_fault_path_matches_interpreter_bit_for_bit() {
+        let (machine, program) = setup(3);
+        let kernel = machine.lower(&program).expect("compiled programs validate");
+        let mut scratch = ExecScratch::new();
+        // Default policy (repairs) and detect_only (surfaces errors):
+        // reports, errors, and final keys must all agree exactly.
+        for policy in [RetryPolicy::default(), RetryPolicy::detect_only()] {
+            for seed in 0..20u64 {
+                let plan = FaultPlan::random(seed, 5_000);
+                let keys = lcg_keys(machine.shape().len(), seed + 3);
+                let mut interp = keys.clone();
+                let mut lowered = keys;
+                let ra = machine.run_with_faults(&mut interp, &program, &plan, &policy);
+                let rb = machine.run_kernel_with_faults(
+                    &mut lowered,
+                    &kernel,
+                    &plan,
+                    &policy,
+                    &mut scratch,
+                );
+                assert_eq!(ra, rb, "seed {seed}: same plan, same report");
+                assert_eq!(interp, lowered, "seed {seed}: same plan, same keys");
+            }
+        }
     }
 
     #[test]

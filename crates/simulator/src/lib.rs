@@ -32,6 +32,7 @@ pub mod cost;
 pub mod engine;
 pub mod enumerate;
 pub mod fault;
+pub mod kernel;
 pub mod machine;
 pub mod netsort;
 pub mod sample;
@@ -47,6 +48,7 @@ pub use cache::{fingerprint, CacheStats, ProgramCache, ProgramKey};
 pub use cost::CostModel;
 pub use engine::{ChargedEngine, Engine, ExecutedEngine, Pg2Instance, PAR_THRESHOLD};
 pub use fault::{Detection, FaultError, FaultReport, InjectedFault, Retry};
+pub use kernel::{ExecScratch, KernelProgram, RoundClass, ScratchPool, KERNEL_PAR_THRESHOLD};
 // The fault plan/policy vocabulary is re-exported so executor callers
 // need not depend on `pns-fault` directly.
 pub use machine::{Machine, SortError, SortReport};

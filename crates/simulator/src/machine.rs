@@ -5,6 +5,7 @@ use crate::bsp::{BspMachine, CompiledProgram};
 use crate::cache::ProgramCache;
 use crate::cost::CostModel;
 use crate::engine::{ChargedEngine, ExecutedEngine};
+use crate::kernel::{ExecScratch, KernelProgram, ScratchPool};
 use crate::netsort::{is_snake_sorted, network_sort, read_snake_order, NetSortOutcome};
 use crate::sorters::Pg2Sorter;
 use pns_graph::{Graph, LinearEmbedding};
@@ -75,6 +76,9 @@ enum EngineKind {
 struct CompiledKind {
     bsp: BspMachine,
     program: Arc<CompiledProgram>,
+    /// The program lowered to the flat kernel tier (shared through the
+    /// same cache) — the form sorts actually execute.
+    kernel: Arc<KernelProgram>,
     /// Logical unit counters for one sort on this shape — a pure
     /// function of the shape, captured once at construction.
     counters: pns_core::Counters,
@@ -152,13 +156,15 @@ impl Machine {
     }
 
     /// A machine that executes a compiled BSP program, fetched from (or
-    /// compiled into) `cache`. Repeated construction for the same
-    /// `(factor, r, sorter)` reuses the cached program — no
-    /// recompilation, observable via the cache's hit counter.
+    /// compiled into) `cache` together with its lowered kernel.
+    /// Repeated construction for the same `(factor, r, sorter)` reuses
+    /// both — no recompilation, no re-lowering, observable via the
+    /// cache's hit counters.
     ///
-    /// Sorts run through [`BspMachine::run_parallel`]; batches
-    /// ([`Machine::sort_batch`]) run through [`BspMachine::run_batch`].
-    /// Both are bit-identical to serial BSP execution.
+    /// Sorts run through [`BspMachine::run_kernel_parallel`]; batches
+    /// ([`Machine::sort_batch`]) run through
+    /// [`BspMachine::run_kernel_batch`]. Both are bit-identical to
+    /// serial BSP execution.
     #[must_use]
     pub fn compiled(
         factor: &Graph,
@@ -166,8 +172,8 @@ impl Machine {
         sorter: &dyn Pg2Sorter,
         cache: &ProgramCache,
     ) -> Self {
-        let program = cache.get_or_compile(factor, r, sorter);
-        Machine::with_program(factor, r, sorter, program)
+        let (program, kernel) = cache.get_or_compile_kernel(factor, r, sorter);
+        Machine::with_program(factor, r, sorter, program, kernel)
     }
 
     /// As [`Machine::compiled`], but the program is optimized
@@ -182,8 +188,8 @@ impl Machine {
         sorter: &dyn Pg2Sorter,
         cache: &ProgramCache,
     ) -> Self {
-        let program = cache.get_or_compile_optimized(factor, r, sorter);
-        Machine::with_program(factor, r, sorter, program)
+        let (program, kernel) = cache.get_or_compile_kernel_optimized(factor, r, sorter);
+        Machine::with_program(factor, r, sorter, program, kernel)
     }
 
     fn with_program(
@@ -191,10 +197,12 @@ impl Machine {
         r: usize,
         sorter: &dyn Pg2Sorter,
         program: Arc<CompiledProgram>,
+        kernel: Arc<KernelProgram>,
     ) -> Self {
         assert!(pns_graph::is_connected(factor), "factor must be connected");
         let shape = Shape::new(factor.n(), r);
         assert_eq!(program.shape(), shape, "cached program shape mismatch");
+        assert_eq!(kernel.shape(), shape, "cached kernel shape mismatch");
         // The logical unit counters are engine-independent (pure control
         // flow of the algorithm): capture them with a unit-cost replay.
         let mut dummy: Vec<u32> = (0..shape.len() as u32).collect();
@@ -207,6 +215,7 @@ impl Machine {
             engine: EngineKind::Compiled(CompiledKind {
                 bsp: BspMachine::new(factor, r),
                 program,
+                kernel,
                 counters,
                 s2_steps,
                 logger: EventLogger::disabled(),
@@ -220,6 +229,16 @@ impl Machine {
     pub fn program(&self) -> Option<&Arc<CompiledProgram>> {
         match &self.engine {
             EngineKind::Compiled(c) => Some(&c.program),
+            _ => None,
+        }
+    }
+
+    /// The lowered kernel backing this machine, if it is a compiled
+    /// machine (for stats inspection and direct kernel runs).
+    #[must_use]
+    pub fn kernel(&self) -> Option<&Arc<KernelProgram>> {
+        match &self.engine {
+            EngineKind::Compiled(c) => Some(&c.kernel),
             _ => None,
         }
     }
@@ -325,7 +344,9 @@ impl Machine {
                 crate::verify::network_sort_checked(shape, &mut keys, e)
             }
             (EngineKind::Compiled(c), checked) => {
-                c.bsp.run_parallel(&mut keys, &c.program);
+                let mut scratch = ExecScratch::new();
+                c.bsp
+                    .run_kernel_parallel(&mut keys, &c.kernel, &mut scratch);
                 // The per-stage invariant of `network_sort_checked` does
                 // not survive lowering; checked mode verifies the final
                 // configuration instead.
@@ -349,8 +370,8 @@ impl Machine {
     /// one `Result` per lane in input order.
     ///
     /// On a compiled machine ([`Machine::compiled`]) the valid lanes run
-    /// through one program with one validation pass and one thread per
-    /// vector ([`BspMachine::run_batch`]) — the high-throughput path.
+    /// through one lowered kernel with one thread per vector
+    /// ([`BspMachine::run_kernel_batch`]) — the high-throughput path.
     /// Other engine kinds sort the vectors one after another; results
     /// are identical either way.
     ///
@@ -380,7 +401,8 @@ impl Machine {
                     }
                 }
                 if !good.is_empty() {
-                    c.bsp.run_batch(&mut good, &c.program);
+                    let mut pool = ScratchPool::new();
+                    c.bsp.run_kernel_batch(&mut good, &c.kernel, &mut pool);
                     // Every vector is charged the full logical unit cost,
                     // so the aggregated events cover the whole batch (=
                     // the sum of the returned reports' counters).
@@ -578,6 +600,11 @@ mod tests {
         let mut first = Machine::compiled(&factor, 2, &ShearSorter, &cache);
         let mut second = Machine::compiled(&factor, 2, &ShearSorter, &cache);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!((cache.kernel_hits(), cache.kernel_misses()), (1, 1));
+        assert!(
+            Arc::ptr_eq(first.kernel().unwrap(), second.kernel().unwrap()),
+            "machines share one lowered kernel"
+        );
         let r1 = first.sort((0..9u32).rev().collect()).unwrap();
         let r2 = second.sort((0..9u32).rev().collect()).unwrap();
         assert_eq!(r1.keys, r2.keys);

@@ -178,11 +178,13 @@ pub fn try_sample_sort<K: Ord + Clone + Send + Sync>(
     let fdist: Vec<Vec<u32>> = (0..factor.n() as u32)
         .map(|v| bfs_distances(factor, v))
         .collect();
+    // Per-directed-factor-edge loads, per copy — we only need the max,
+    // so aggregate by (copy base, edge). One map serves every dimension
+    // (cleared between passes) so the routing loop does not reallocate.
+    let mut edge_loads: std::collections::HashMap<(u64, u32, u32), u64> =
+        std::collections::HashMap::new();
     for dim in 0..r {
-        // Per-directed-factor-edge loads, per copy — we only need the max,
-        // so aggregate by (copy base, edge).
-        let mut edge_loads: std::collections::HashMap<(u64, u32, u32), u64> =
-            std::collections::HashMap::new();
+        edge_loads.clear();
         let mut max_path = 0u32;
         for (at, dst, _) in &mut in_flight {
             let from = shape.digit(*at, dim) as u32;

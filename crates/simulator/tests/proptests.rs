@@ -5,8 +5,8 @@ use pns_graph::factories;
 use pns_order::radix::Shape;
 use pns_simulator::netsort::{is_snake_sorted, network_sort, read_snake_order};
 use pns_simulator::{
-    block_sort, compile, sample_sort, BspMachine, ChargedEngine, CostModel, ExecutedEngine,
-    Machine, OetSnakeSorter, ShearSorter,
+    block_sort, compile, sample_sort, BspMachine, ChargedEngine, CostModel, ExecScratch,
+    ExecutedEngine, Machine, OetSnakeSorter, ScratchPool, ShearSorter,
 };
 use proptest::prelude::*;
 
@@ -92,6 +92,43 @@ proptest! {
         let _ = network_sort(shape, &mut net_keys, &mut engine);
 
         prop_assert_eq!(bsp_keys, net_keys);
+    }
+
+    #[test]
+    fn kernel_paths_agree_with_the_interpreter(
+        n in 3usize..6, seed in any::<u64>(), modulus in 1u64..50,
+        optimized in any::<bool>(),
+    ) {
+        // The lowered kernel — serial, chunked (threshold 1), and
+        // batched — is bit-identical to interpreted execution on random
+        // relabeled factors, where relay moves exercise Route rounds.
+        let factor = Machine::prepare_factor(&factories::random_connected(n, 2, seed));
+        let r = 2;
+        let shape = Shape::new(n, r);
+        let program = compile(&factor, r, &OetSnakeSorter);
+        let program = if optimized { program.optimized() } else { program };
+        let bsp = BspMachine::new(&factor, r);
+        let kernel = bsp.lower(&program).expect("compiled programs validate");
+
+        let keys = keys_for(shape.len(), seed ^ 0x77, modulus);
+        let mut reference = keys.clone();
+        bsp.run(&mut reference, &program);
+
+        let mut scratch = ExecScratch::new();
+        let mut serial = keys.clone();
+        bsp.run_kernel(&mut serial, &kernel, &mut scratch);
+        prop_assert_eq!(&serial, &reference);
+
+        let mut chunked = keys.clone();
+        bsp.run_kernel_parallel_threshold(&mut chunked, &kernel, &mut scratch, 1);
+        prop_assert_eq!(&chunked, &reference);
+
+        let mut batch = vec![keys; 3];
+        let mut pool = ScratchPool::new();
+        bsp.run_kernel_batch(&mut batch, &kernel, &mut pool);
+        for lane in &batch {
+            prop_assert_eq!(lane, &reference);
+        }
     }
 
     #[test]

@@ -9,12 +9,17 @@
 //! * the serial BSP machine (`BspMachine::run`),
 //! * the deferred-action parallel executor (`run_parallel`),
 //! * the batched executor (`run_batch`, all inputs in one batch),
+//! * the flat kernel tier (`run_kernel`, the chunked-parallel
+//!   `run_kernel_parallel` forced past its threshold, and
+//!   `run_kernel_batch`), on both the raw and optimized lowerings,
 //! * plus serial/parallel/batched runs of the *optimized* program,
 //!
-//! and require all seven configurations to be elementwise identical and
+//! and require all configurations to be elementwise identical and
 //! snake-order equal to the `std` sort oracle. The algorithm is
 //! oblivious, so any divergence between these paths is a bug in an
-//! executor, not data dependence.
+//! executor, not data dependence. A separate test drives the fault
+//! layer's interpreter and kernel paths with identical fault plans and
+//! requires identical reports and final keys.
 
 use product_sort::graph::factories;
 use product_sort::graph::Graph;
@@ -22,8 +27,8 @@ use product_sort::order::radix::Shape;
 use product_sort::sim::bsp::{compile, BspMachine};
 use product_sort::sim::netsort::{is_snake_sorted, network_sort, read_snake_order};
 use product_sort::sim::{
-    ChargedEngine, CostModel, ExecutedEngine, Hypercube2Sorter, Machine, OetSnakeSorter, Pg2Sorter,
-    ShearSorter,
+    ChargedEngine, CostModel, ExecScratch, ExecutedEngine, FaultPlan, Hypercube2Sorter, Machine,
+    OetSnakeSorter, Pg2Sorter, RetryPolicy, ScratchPool, ShearSorter,
 };
 
 fn lcg_keys(len: u64, seed: u64) -> Vec<u64> {
@@ -62,9 +67,14 @@ fn differential_case(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) {
     let program = compile(factor, r, sorter);
     let optimized = program.optimized();
     let bsp = BspMachine::new(factor, r);
+    let kernel = bsp.lower(&program).expect("compiled programs validate");
+    let kernel_opt = bsp.lower(&optimized).expect("optimized programs validate");
 
     let bank = input_bank(len);
     let mut serials: Vec<Vec<u64>> = Vec::new();
+    // One scratch for every kernel run in the case: reuse across inputs
+    // and programs is exactly the steady state the kernel tier promises.
+    let mut scratch = ExecScratch::new();
     for (label, input) in &bank {
         let mut oracle = input.clone();
         oracle.sort_unstable();
@@ -89,6 +99,17 @@ fn differential_case(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) {
             assert_eq!(ser2, serial, "{ctx} {label}: serial run on {name}");
         }
 
+        // Kernel tier: serial and chunked-parallel (threshold 1 forces
+        // the chunked path even on tiny rounds), raw and optimized.
+        for (name, k) in [("kernel", &kernel), ("kernel-opt", &kernel_opt)] {
+            let mut kser = input.clone();
+            bsp.run_kernel(&mut kser, k, &mut scratch);
+            assert_eq!(kser, serial, "{ctx} {label}: run_kernel on {name}");
+            let mut kpar = input.clone();
+            bsp.run_kernel_parallel_threshold(&mut kpar, k, &mut scratch, 1);
+            assert_eq!(kpar, serial, "{ctx} {label}: chunked kernel on {name}");
+        }
+
         // Executed engine (real comparator programs + real routing).
         let mut exec = input.clone();
         let mut engine = ExecutedEngine::new(factor, shape, sorter);
@@ -111,6 +132,16 @@ fn differential_case(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) {
         bsp.run_batch(&mut batch, prog);
         for ((label, _), (got, want)) in bank.iter().zip(batch.iter().zip(&serials)) {
             assert_eq!(got, want, "{ctx} {label}: run_batch on {name}");
+        }
+    }
+
+    // Batched kernel executor, one scratch pool across both lowerings.
+    let mut pool = ScratchPool::new();
+    for (name, k) in [("kernel", &kernel), ("kernel-opt", &kernel_opt)] {
+        let mut batch: Vec<Vec<u64>> = bank.iter().map(|(_, input)| input.clone()).collect();
+        bsp.run_kernel_batch(&mut batch, k, &mut pool);
+        for ((label, _), (got, want)) in bank.iter().zip(batch.iter().zip(&serials)) {
+            assert_eq!(got, want, "{ctx} {label}: run_kernel_batch on {name}");
         }
     }
 }
@@ -159,4 +190,38 @@ fn differential_star_relays() {
     // case for the optimizer's move-chain reasoning.
     differential_case(&factories::star(4), 2, &OetSnakeSorter);
     differential_case(&factories::star(5), 2, &OetSnakeSorter);
+}
+
+/// The fault layer's two executors must agree: the same `FaultPlan`
+/// against the interpreter (`run_with_faults`) and the lowered kernel
+/// (`run_kernel_with_faults`) fires the same fault sites, detects at
+/// the same certificates, and leaves bit-identical keys — faults are
+/// keyed by `(round, op)`, which lowering preserves 1:1.
+#[test]
+fn differential_fault_paths() {
+    let cases: [(&Graph, usize, &dyn Pg2Sorter); 3] = [
+        (&factories::path(3), 3, &ShearSorter),
+        (&factories::k2(), 4, &Hypercube2Sorter),
+        (&factories::star(4), 2, &OetSnakeSorter),
+    ];
+    for (factor, r, sorter) in cases {
+        let shape = Shape::new(factor.n(), r);
+        let ctx = format!("factor={} r={r}", factor.name());
+        let program = compile(factor, r, sorter);
+        let bsp = BspMachine::new(factor, r);
+        let kernel = bsp.lower(&program).expect("compiled programs validate");
+        let mut scratch = ExecScratch::new();
+        let input = lcg_keys(shape.len(), 0xFA17);
+        for policy in [RetryPolicy::default(), RetryPolicy::detect_only()] {
+            for seed in 0..12u64 {
+                let plan = FaultPlan::random(seed, 5_000);
+                let mut a = input.clone();
+                let ra = bsp.run_with_faults(&mut a, &program, &plan, &policy);
+                let mut b = input.clone();
+                let rb = bsp.run_kernel_with_faults(&mut b, &kernel, &plan, &policy, &mut scratch);
+                assert_eq!(ra, rb, "{ctx} seed={seed}: fault reports diverge");
+                assert_eq!(a, b, "{ctx} seed={seed}: faulty keys diverge");
+            }
+        }
+    }
 }
