@@ -14,8 +14,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pns_graph::{factories, Graph};
 use pns_simulator::bsp::{BspMachine, CompiledProgram};
 use pns_simulator::{
-    compile, ExecScratch, Hypercube2Sorter, KernelProgram, Machine, ProgramCache, ScratchPool,
-    ShearSorter,
+    compile, BitScratch, ExecScratch, Hypercube2Sorter, KernelProgram, Machine, ProgramCache,
+    ScratchPool, ShearSorter, VerticalPool, VerticalProgram,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +33,7 @@ struct Fixtures {
     petersen: Graph,
     petersen_program: CompiledProgram,
     petersen_kernel: KernelProgram,
+    petersen_vertical: VerticalProgram,
     /// 3-ary 3-cube (`path(3)`, r = 3): the E19 kernel-speedup shape.
     cube3: Graph,
     cube3_program: CompiledProgram,
@@ -51,6 +52,9 @@ fn fixtures() -> &'static Fixtures {
         let petersen_kernel = BspMachine::new(&petersen, 2)
             .lower(&petersen_program)
             .expect("petersen program validates");
+        let petersen_vertical = BspMachine::new(&petersen, 2)
+            .lower_vertical(&petersen_program)
+            .expect("petersen program validates");
         let cube3 = factories::path(3);
         let cube3_program = compile(&cube3, 3, &ShearSorter);
         let cube3_kernel = BspMachine::new(&cube3, 3)
@@ -63,6 +67,7 @@ fn fixtures() -> &'static Fixtures {
             petersen,
             petersen_program,
             petersen_kernel,
+            petersen_vertical,
             cube3,
             cube3_program,
             cube3_kernel,
@@ -271,6 +276,71 @@ fn bench_fault_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The E20 bar: bit-sliced vertical execution against the flat kernel
+/// batch on 64-lane workloads of the petersen-squared shape (100
+/// nodes). `vertical_bits` packs the 64 0/1 lanes into one u64 word
+/// per node and replaces 64 compare-exchanges with one AND/OR pair;
+/// the acceptance bar (ISSUE 6) is ≥ 4× over `run_kernel_batch` on
+/// the same 0/1 batch. `vertical_batch` prices the full-key column
+/// path (swap-on-mask, no word-level parallelism) on both 0/1 and
+/// general keys for comparison.
+fn bench_vertical_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertical_speedup");
+    let fx = fixtures();
+    let bsp = BspMachine::new(&fx.petersen, 2);
+    let len = fx.petersen_kernel.shape().len();
+
+    // One packed word block: bit l of words[i] is lane l's 0/1 key at
+    // node i — 64 random 0/1 lanes in `len` words.
+    let mut rng = StdRng::seed_from_u64(59);
+    let words: Vec<u64> = (0..len).map(|_| rng.random_range(0..u64::MAX)).collect();
+    let batch01: Vec<Vec<u64>> = (0..64)
+        .map(|l| (0..len as usize).map(|i| (words[i] >> l) & 1).collect())
+        .collect();
+
+    let mut pool = ScratchPool::new();
+    group.bench_function("kernel_batch_64x_zero_one", |b| {
+        b.iter(|| {
+            let mut batch = batch01.clone();
+            black_box(bsp.run_kernel_batch(&mut batch, &fx.petersen_kernel, &mut pool));
+            black_box(batch)
+        });
+    });
+    let mut bits = BitScratch::new();
+    group.bench_function("vertical_bits_64x_zero_one", |b| {
+        b.iter(|| {
+            let mut w = words.clone();
+            black_box(bsp.run_vertical_bits(&mut w, &fx.petersen_vertical, &mut bits));
+            black_box(w)
+        });
+    });
+    let mut vpool = VerticalPool::new();
+    group.bench_function("vertical_batch_64x_zero_one", |b| {
+        b.iter(|| {
+            let mut batch = batch01.clone();
+            black_box(bsp.run_vertical_batch(&mut batch, &fx.petersen_vertical, &mut vpool));
+            black_box(batch)
+        });
+    });
+
+    let full: Vec<Vec<u64>> = (0..64u64).map(|s| random_keys(len, 61 + s)).collect();
+    group.bench_function("kernel_batch_64x_full_keys", |b| {
+        b.iter(|| {
+            let mut batch = full.clone();
+            black_box(bsp.run_kernel_batch(&mut batch, &fx.petersen_kernel, &mut pool));
+            black_box(batch)
+        });
+    });
+    group.bench_function("vertical_batch_64x_full_keys", |b| {
+        b.iter(|| {
+            let mut batch = full.clone();
+            black_box(bsp.run_vertical_batch(&mut batch, &fx.petersen_vertical, &mut vpool));
+            black_box(batch)
+        });
+    });
+    group.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("program_cache");
     let factor = factories::k2();
@@ -298,6 +368,7 @@ criterion_group!(
     bench_kernel_speedup,
     bench_obs_overhead,
     bench_fault_overhead,
+    bench_vertical_speedup,
     bench_cache
 );
 criterion_main!(benches);

@@ -32,6 +32,7 @@ pub mod experiments {
     pub mod e17_observability;
     pub mod e18_fault_tolerance;
     pub mod e19_kernel_speedup;
+    pub mod e20_vertical_speedup;
 }
 
 pub use report::Report;
@@ -63,6 +64,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e17_observability", e17_observability::run),
         ("e18_fault_tolerance", e18_fault_tolerance::run),
         ("e19_kernel_speedup", e19_kernel_speedup::run),
+        ("e20_vertical_speedup", e20_vertical_speedup::run),
         ("a01_labeling", a01_labeling::run),
         ("a02_pg2_sorter", a02_pg2_sorter::run),
         ("a03_sorting_network", a03_sorting_network::run),

@@ -95,6 +95,21 @@ pub enum Event {
         /// Packed micro-ops across all route rounds.
         micro_ops: u64,
     },
+    /// A lowered kernel was committed to the bit-sliced vertical
+    /// (lane-major) layout (cache misses on the vertical cache).
+    VerticalLowered {
+        /// Rounds in the program (= the source kernel's rounds).
+        rounds: u64,
+        /// Compare rounds executed as word-wide min/max.
+        compare_rounds: u64,
+        /// Route rounds executed as column-block permutations.
+        route_rounds: u64,
+        /// Word-level ops per full-width run (pairs + micro-ops) —
+        /// each carries up to 64 lanes.
+        word_ops: u64,
+        /// Lanes one machine word carries (64).
+        lanes: u64,
+    },
     /// A batch of independent key vectors was scheduled onto the
     /// batched executor.
     BatchScheduled {
@@ -181,6 +196,7 @@ impl Event {
             Event::RouteUnit { .. } => "route_unit",
             Event::CacheLookup { .. } => "cache_lookup",
             Event::KernelLowered { .. } => "kernel_lowered",
+            Event::VerticalLowered { .. } => "vertical_lowered",
             Event::BatchScheduled { .. } => "batch_scheduled",
             Event::Validate { .. } => "validate",
             Event::FaultInjected { .. } => "fault_injected",
@@ -263,6 +279,14 @@ mod tests {
                 route_rounds: 0,
                 cx_pairs: 4,
                 micro_ops: 0,
+            }
+            .kind(),
+            Event::VerticalLowered {
+                rounds: 1,
+                compare_rounds: 1,
+                route_rounds: 0,
+                word_ops: 4,
+                lanes: 64,
             }
             .kind(),
             Event::BatchScheduled { batch: 1, lanes: 1 }.kind(),

@@ -140,6 +140,8 @@ pub struct ObsSummary {
     pub cache_misses: u64,
     /// Programs lowered to the flat kernel tier.
     pub kernels_lowered: u64,
+    /// Kernels committed to the bit-sliced vertical layout.
+    pub verticals_lowered: u64,
     /// Batches scheduled.
     pub batches: u64,
     /// Vectors across all batches.
@@ -213,6 +215,7 @@ impl ObsSummary {
                 }
             }
             Event::KernelLowered { .. } => self.kernels_lowered += 1,
+            Event::VerticalLowered { .. } => self.verticals_lowered += 1,
             Event::BatchScheduled { batch, lanes } => {
                 self.batches += 1;
                 self.batch_vectors += batch;
@@ -300,12 +303,13 @@ impl fmt::Display for ObsSummary {
         )?;
         writeln!(
             f,
-            "  {:<22} {:>7} hits {:>7} misses  (ratio {:.3}, {} kernels lowered)",
+            "  {:<22} {:>7} hits {:>7} misses  (ratio {:.3}, {} kernels lowered, {} vertical)",
             "cache lookups",
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_ratio(),
-            self.kernels_lowered
+            self.kernels_lowered,
+            self.verticals_lowered
         )?;
         writeln!(
             f,

@@ -17,6 +17,7 @@
 use crate::bsp::{compile, CompiledProgram};
 use crate::kernel::KernelProgram;
 use crate::sorters::Pg2Sorter;
+use crate::vertical::{VerticalProgram, WORD_LANES};
 use pns_graph::Graph;
 use pns_obs::{Event, EventLogger};
 use std::collections::HashMap;
@@ -139,17 +140,21 @@ impl fmt::Display for CacheStats {
 }
 
 /// Thread-safe cache of compiled programs with hit/miss accounting.
-/// Lowered kernels ([`KernelProgram`]) are cached alongside, under the
-/// same keys, with their own hit/miss counters — [`CacheStats`] and the
-/// program counters are untouched by kernel traffic.
+/// Lowered kernels ([`KernelProgram`]) and their vertical commitments
+/// ([`VerticalProgram`]) are cached alongside, under the same keys,
+/// each with their own hit/miss counters — [`CacheStats`] and the
+/// program counters are untouched by kernel or vertical traffic.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
     programs: RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>,
     kernels: RwLock<HashMap<ProgramKey, Arc<KernelProgram>>>,
+    verticals: RwLock<HashMap<ProgramKey, Arc<VerticalProgram>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
+    vertical_hits: AtomicU64,
+    vertical_misses: AtomicU64,
     logger: EventLogger,
 }
 
@@ -225,6 +230,75 @@ impl ProgramCache {
         let program = self.get_or_compile_optimized(factor, r, sorter);
         let kernel = self.kernel_lookup(ProgramKey::new(factor, r, sorter, true), &program);
         (program, kernel)
+    }
+
+    /// The compiled program, its lowered kernel, **and** the kernel's
+    /// vertical (bit-sliced) commitment for `(factor, r, sorter)`. The
+    /// program and kernel sides ride on
+    /// [`ProgramCache::get_or_compile_kernel`] — identical counter
+    /// deltas — while the vertical side is cached under the same key
+    /// with its own counters and emits one `VerticalLowered` event per
+    /// commitment.
+    pub fn get_or_compile_vertical(
+        &self,
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+    ) -> (
+        Arc<CompiledProgram>,
+        Arc<KernelProgram>,
+        Arc<VerticalProgram>,
+    ) {
+        let (program, kernel) = self.get_or_compile_kernel(factor, r, sorter);
+        let vertical = self.vertical_lookup(ProgramKey::new(factor, r, sorter, false), &kernel);
+        (program, kernel, vertical)
+    }
+
+    /// As [`ProgramCache::get_or_compile_vertical`], for the optimized
+    /// program. Cached separately from the unoptimized vertical.
+    pub fn get_or_compile_vertical_optimized(
+        &self,
+        factor: &Graph,
+        r: usize,
+        sorter: &dyn Pg2Sorter,
+    ) -> (
+        Arc<CompiledProgram>,
+        Arc<KernelProgram>,
+        Arc<VerticalProgram>,
+    ) {
+        let (program, kernel) = self.get_or_compile_kernel_optimized(factor, r, sorter);
+        let vertical = self.vertical_lookup(ProgramKey::new(factor, r, sorter, true), &kernel);
+        (program, kernel, vertical)
+    }
+
+    fn vertical_lookup(
+        &self,
+        key: ProgramKey,
+        kernel: &Arc<KernelProgram>,
+    ) -> Arc<VerticalProgram> {
+        if let Some(hit) = self
+            .verticals
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            self.vertical_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let vertical = Arc::new(VerticalProgram::lower(Arc::clone(kernel)));
+        self.vertical_misses.fetch_add(1, Ordering::Relaxed);
+        self.logger.log(|| Event::VerticalLowered {
+            rounds: vertical.rounds() as u64,
+            compare_rounds: kernel.compare_rounds() as u64,
+            route_rounds: kernel.route_rounds() as u64,
+            word_ops: vertical.word_ops() as u64,
+            lanes: WORD_LANES as u64,
+        });
+        self.verticals
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::clone(&vertical));
+        vertical
     }
 
     fn kernel_lookup(&self, key: ProgramKey, program: &CompiledProgram) -> Arc<KernelProgram> {
@@ -322,6 +396,27 @@ impl ProgramCache {
             .len()
     }
 
+    /// Vertical requests served from the cache.
+    #[must_use]
+    pub fn vertical_hits(&self) -> u64 {
+        self.vertical_hits.load(Ordering::Relaxed)
+    }
+
+    /// Vertical requests that had to commit a layout.
+    #[must_use]
+    pub fn vertical_misses(&self) -> u64 {
+        self.vertical_misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct vertical programs held.
+    #[must_use]
+    pub fn vertical_len(&self) -> usize {
+        self.verticals
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
     /// Consistent snapshot of the accounting, for tables and logs.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -355,6 +450,10 @@ impl ProgramCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
         self.kernels
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.verticals
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
@@ -520,6 +619,67 @@ mod tests {
         assert_eq!(cache.kernel_len(), 2);
         cache.clear();
         assert_eq!(cache.kernel_len(), 0, "clear drops kernels too");
+    }
+
+    #[test]
+    fn vertical_requests_share_one_commitment_and_leave_other_stats_alone() {
+        let cache = ProgramCache::new();
+        let factor = factories::path(3);
+        let (p1, k1, v1) = cache.get_or_compile_vertical(&factor, 2, &ShearSorter);
+        let (p2, _k2, v2) = cache.get_or_compile_vertical(&factor, 2, &ShearSorter);
+        assert!(Arc::ptr_eq(&p1, &p2), "program comes from the same entry");
+        assert!(Arc::ptr_eq(&v1, &v2), "layout is committed exactly once");
+        assert!(
+            Arc::ptr_eq(v1.kernel(), &k1),
+            "the vertical program wraps the cached kernel"
+        );
+        assert_eq!((cache.vertical_hits(), cache.vertical_misses()), (1, 1));
+        assert_eq!(cache.vertical_len(), 1);
+        // Vertical traffic rides on the kernel (and thus program)
+        // lookups — both see exactly the plain one-miss-one-hit deltas.
+        assert_eq!((cache.kernel_hits(), cache.kernel_misses()), (1, 1));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        // Optimized verticals are distinct cache entries.
+        let (_p3, _k3, v3) = cache.get_or_compile_vertical_optimized(&factor, 2, &ShearSorter);
+        assert!(!Arc::ptr_eq(&v1, &v3));
+        assert_eq!(cache.vertical_len(), 2);
+        cache.clear();
+        assert_eq!(cache.vertical_len(), 0, "clear drops verticals too");
+    }
+
+    #[test]
+    fn vertical_misses_emit_one_lowered_event() {
+        let (sink, reader) = pns_obs::MemorySink::with_capacity(16);
+        let mut cache = ProgramCache::new();
+        cache.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
+        let factor = factories::path(3);
+        let (_program, kernel, vertical) = cache.get_or_compile_vertical(&factor, 2, &ShearSorter);
+        let _ = cache.get_or_compile_vertical(&factor, 2, &ShearSorter);
+        cache.logger.flush();
+        let lowered: Vec<_> = reader
+            .events()
+            .iter()
+            .map(|e| e.event)
+            .filter(|e| e.kind() == "vertical_lowered")
+            .collect();
+        assert_eq!(
+            lowered,
+            vec![pns_obs::Event::VerticalLowered {
+                rounds: vertical.rounds() as u64,
+                compare_rounds: kernel.compare_rounds() as u64,
+                route_rounds: kernel.route_rounds() as u64,
+                word_ops: vertical.word_ops() as u64,
+                lanes: WORD_LANES as u64,
+            }],
+            "the second request is a hit and stays silent"
+        );
     }
 
     #[test]

@@ -163,15 +163,15 @@ pub struct FaultReport {
 }
 
 /// A program segment between certificate boundaries.
-struct Segment {
+pub(crate) struct Segment {
     /// First round (inclusive).
-    start: usize,
+    pub(crate) start: usize,
     /// One past the last round.
-    end: usize,
+    pub(crate) end: usize,
     /// The certificate closing the segment: `(boundary round, dims,
     /// is_final)`. `None` for an uncertified tail (hand-built programs
     /// whose cert points do not reach the end).
-    check: Option<(u64, u32, bool)>,
+    pub(crate) check: Option<(u64, u32, bool)>,
 }
 
 /// Split a program into checkpointable segments at its certificate
@@ -180,7 +180,7 @@ struct Segment {
 /// segment identically. Programs without certificates (e.g. built via
 /// `CompiledProgram::from_rounds`) become a single unchecked segment —
 /// the executor then runs open-loop and cannot detect anything.
-fn segments(certs: &[CertPoint], rounds: usize) -> Vec<Segment> {
+pub(crate) fn segments(certs: &[CertPoint], rounds: usize) -> Vec<Segment> {
     let mut out = Vec::with_capacity(certs.len() + 1);
     let mut start = 0usize;
     for (i, c) in certs.iter().enumerate() {
@@ -547,7 +547,7 @@ struct LaneSlot<'a, K> {
 impl BspMachine {
     /// Emit the observability events a finished lane accumulated. Runs
     /// on the calling thread (the logger's buffers are thread-local).
-    fn emit_fault_events(&self, report: &FaultReport, lane: Option<u64>) {
+    pub(crate) fn emit_fault_events(&self, report: &FaultReport, lane: Option<u64>) {
         for f in &report.injected {
             self.logger.log(|| Event::FaultInjected {
                 round: f.site.round,

@@ -38,6 +38,7 @@ pub mod netsort;
 pub mod sample;
 pub mod sorters;
 pub mod verify;
+pub mod vertical;
 
 pub use block::{block_sort, BlockEngine, SortedBlock};
 pub use bsp::{
@@ -57,3 +58,7 @@ pub use pns_fault::{FaultKind, FaultPlan, FaultSite, OpClass, RetryPolicy};
 pub use sample::{sample_sort, try_sample_sort, SampleSortOutcome};
 pub use sorters::{Hypercube2Sorter, OetSnakeSorter, Pg2Sorter, ShearSorter};
 pub use verify::{network_sort_checked, subgraphs_snake_sorted, LoggingEngine, RoundRecord};
+pub use vertical::{
+    pack_zero_one_masks, pack_zero_one_masks_into, unpack_zero_one_lane, unpack_zero_one_lane_into,
+    BitScratch, VerticalPool, VerticalProgram, VerticalScratch, VERTICAL_MIN_LANES, WORD_LANES,
+};

@@ -8,6 +8,7 @@ use crate::engine::{ChargedEngine, ExecutedEngine};
 use crate::kernel::{ExecScratch, KernelProgram, ScratchPool};
 use crate::netsort::{is_snake_sorted, network_sort, read_snake_order, NetSortOutcome};
 use crate::sorters::Pg2Sorter;
+use crate::vertical::{VerticalPool, VerticalProgram, VERTICAL_MIN_LANES};
 use pns_graph::{Graph, LinearEmbedding};
 use pns_obs::{Event, EventLogger};
 use pns_order::radix::Shape;
@@ -79,6 +80,9 @@ struct CompiledKind {
     /// The program lowered to the flat kernel tier (shared through the
     /// same cache) — the form sorts actually execute.
     kernel: Arc<KernelProgram>,
+    /// The kernel committed to the bit-sliced vertical layout (same
+    /// cache) — the form large batches execute.
+    vertical: Arc<VerticalProgram>,
     /// Logical unit counters for one sort on this shape — a pure
     /// function of the shape, captured once at construction.
     counters: pns_core::Counters,
@@ -163,8 +167,10 @@ impl Machine {
     ///
     /// Sorts run through [`BspMachine::run_kernel_parallel`]; batches
     /// ([`Machine::sort_batch`]) run through
-    /// [`BspMachine::run_kernel_batch`]. Both are bit-identical to
-    /// serial BSP execution.
+    /// [`BspMachine::run_kernel_batch`], or through the bit-sliced
+    /// vertical tier ([`BspMachine::run_vertical_batch`]) once the
+    /// batch reaches [`VERTICAL_MIN_LANES`] lanes. All are bit-identical
+    /// to serial BSP execution.
     #[must_use]
     pub fn compiled(
         factor: &Graph,
@@ -172,8 +178,8 @@ impl Machine {
         sorter: &dyn Pg2Sorter,
         cache: &ProgramCache,
     ) -> Self {
-        let (program, kernel) = cache.get_or_compile_kernel(factor, r, sorter);
-        Machine::with_program(factor, r, sorter, program, kernel)
+        let (program, kernel, vertical) = cache.get_or_compile_vertical(factor, r, sorter);
+        Machine::with_program(factor, r, sorter, program, kernel, vertical)
     }
 
     /// As [`Machine::compiled`], but the program is optimized
@@ -188,8 +194,9 @@ impl Machine {
         sorter: &dyn Pg2Sorter,
         cache: &ProgramCache,
     ) -> Self {
-        let (program, kernel) = cache.get_or_compile_kernel_optimized(factor, r, sorter);
-        Machine::with_program(factor, r, sorter, program, kernel)
+        let (program, kernel, vertical) =
+            cache.get_or_compile_vertical_optimized(factor, r, sorter);
+        Machine::with_program(factor, r, sorter, program, kernel, vertical)
     }
 
     fn with_program(
@@ -198,11 +205,13 @@ impl Machine {
         sorter: &dyn Pg2Sorter,
         program: Arc<CompiledProgram>,
         kernel: Arc<KernelProgram>,
+        vertical: Arc<VerticalProgram>,
     ) -> Self {
         assert!(pns_graph::is_connected(factor), "factor must be connected");
         let shape = Shape::new(factor.n(), r);
         assert_eq!(program.shape(), shape, "cached program shape mismatch");
         assert_eq!(kernel.shape(), shape, "cached kernel shape mismatch");
+        assert_eq!(vertical.shape(), shape, "cached vertical shape mismatch");
         // The logical unit counters are engine-independent (pure control
         // flow of the algorithm): capture them with a unit-cost replay.
         let mut dummy: Vec<u32> = (0..shape.len() as u32).collect();
@@ -216,6 +225,7 @@ impl Machine {
                 bsp: BspMachine::new(factor, r),
                 program,
                 kernel,
+                vertical,
                 counters,
                 s2_steps,
                 logger: EventLogger::disabled(),
@@ -239,6 +249,17 @@ impl Machine {
     pub fn kernel(&self) -> Option<&Arc<KernelProgram>> {
         match &self.engine {
             EngineKind::Compiled(c) => Some(&c.kernel),
+            _ => None,
+        }
+    }
+
+    /// The vertical (bit-sliced) program backing this machine, if it is
+    /// a compiled machine (for stats inspection and direct vertical
+    /// runs).
+    #[must_use]
+    pub fn vertical(&self) -> Option<&Arc<VerticalProgram>> {
+        match &self.engine {
+            EngineKind::Compiled(c) => Some(&c.vertical),
             _ => None,
         }
     }
@@ -371,9 +392,11 @@ impl Machine {
     ///
     /// On a compiled machine ([`Machine::compiled`]) the valid lanes run
     /// through one lowered kernel with one thread per vector
-    /// ([`BspMachine::run_kernel_batch`]) — the high-throughput path.
-    /// Other engine kinds sort the vectors one after another; results
-    /// are identical either way.
+    /// ([`BspMachine::run_kernel_batch`]); batches of at least
+    /// [`VERTICAL_MIN_LANES`] valid lanes switch to the bit-sliced
+    /// vertical tier ([`BspMachine::run_vertical_batch`]), which blocks
+    /// 64 lanes to a word. Other engine kinds sort the vectors one
+    /// after another; results are identical on every path.
     ///
     /// A lane whose vector is not one key per node reports
     /// [`SortError::WrongKeyCount`] without affecting the other lanes —
@@ -401,8 +424,13 @@ impl Machine {
                     }
                 }
                 if !good.is_empty() {
-                    let mut pool = ScratchPool::new();
-                    c.bsp.run_kernel_batch(&mut good, &c.kernel, &mut pool);
+                    if good.len() >= VERTICAL_MIN_LANES {
+                        let mut pool = VerticalPool::new();
+                        c.bsp.run_vertical_batch(&mut good, &c.vertical, &mut pool);
+                    } else {
+                        let mut pool = ScratchPool::new();
+                        c.bsp.run_kernel_batch(&mut good, &c.kernel, &mut pool);
+                    }
                     // Every vector is charged the full logical unit cost,
                     // so the aggregated events cover the whole batch (=
                     // the sum of the returned reports' counters).

@@ -23,12 +23,13 @@
 
 use product_sort::graph::factories;
 use product_sort::graph::Graph;
+use product_sort::obs::{Event, EventLogger, MemorySink, TimedEvent};
 use product_sort::order::radix::Shape;
 use product_sort::sim::bsp::{compile, BspMachine};
 use product_sort::sim::netsort::{is_snake_sorted, network_sort, read_snake_order};
 use product_sort::sim::{
     ChargedEngine, CostModel, ExecScratch, ExecutedEngine, FaultPlan, Hypercube2Sorter, Machine,
-    OetSnakeSorter, Pg2Sorter, RetryPolicy, ScratchPool, ShearSorter,
+    OetSnakeSorter, Pg2Sorter, RetryPolicy, ScratchPool, ShearSorter, VerticalPool,
 };
 
 fn lcg_keys(len: u64, seed: u64) -> Vec<u64> {
@@ -144,6 +145,20 @@ fn differential_case(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) {
             assert_eq!(got, want, "{ctx} {label}: run_kernel_batch on {name}");
         }
     }
+
+    // Vertical column tier: the whole bank as one word block, raw and
+    // optimized lowerings, one pool across both.
+    let mut vpool = VerticalPool::new();
+    for (name, prog) in [("program", &program), ("optimized", &optimized)] {
+        let vertical = bsp
+            .lower_vertical(prog)
+            .expect("compiled programs validate");
+        let mut batch: Vec<Vec<u64>> = bank.iter().map(|(_, input)| input.clone()).collect();
+        bsp.run_vertical_batch(&mut batch, &vertical, &mut vpool);
+        for ((label, _), (got, want)) in bank.iter().zip(batch.iter().zip(&serials)) {
+            assert_eq!(got, want, "{ctx} {label}: run_vertical_batch on {name}");
+        }
+    }
 }
 
 #[test]
@@ -224,4 +239,106 @@ fn differential_fault_paths() {
             }
         }
     }
+}
+
+/// A freshly traced machine plus the reader for its event ring and a
+/// logger handle to flush it from (the machine's own logger field is
+/// crate-private; clones share the sink).
+fn traced_machine(
+    factor: &Graph,
+    r: usize,
+) -> (BspMachine, EventLogger, product_sort::obs::MemoryReader) {
+    let (sink, reader) = MemorySink::with_capacity(1 << 18);
+    let logger = EventLogger::new(Box::new(sink));
+    let mut bsp = BspMachine::new(factor, r);
+    bsp.attach_logger(logger.clone());
+    (bsp, logger, reader)
+}
+
+/// The fault-layer events only, in emission order. Round and batch
+/// events are excluded: the interpreter and vertical tiers legitimately
+/// execute different word-level schedules, but the *fault story* —
+/// which sites fired, where detection tripped, what was retried, who
+/// was quarantined — must be identical, and both batch executors replay
+/// it post-join in lane order.
+fn fault_event_stream(events: &[TimedEvent]) -> Vec<Event> {
+    events
+        .iter()
+        .map(|te| te.event)
+        .filter(|e| {
+            matches!(
+                e,
+                Event::FaultInjected { .. }
+                    | Event::FaultDetected { .. }
+                    | Event::RetryRound { .. }
+                    | Event::LaneQuarantined { .. }
+            )
+        })
+        .collect()
+}
+
+/// The vertical fault executor is a lockstep re-expression of the
+/// scalar fault batch: same per-lane forked plans, same probe seeds,
+/// same checkpoint boundaries. Reports, final keys, *and* the replayed
+/// `FaultInjected`/`FaultDetected`/`RetryRound`/`LaneQuarantined`
+/// event sequences must all be identical, malformed lanes included.
+#[test]
+fn differential_vertical_fault_paths() {
+    let cases: [(&Graph, usize, &dyn Pg2Sorter); 3] = [
+        (&factories::path(3), 3, &ShearSorter),
+        (&factories::k2(), 4, &Hypercube2Sorter),
+        (&factories::star(4), 2, &OetSnakeSorter),
+    ];
+    let mut injections = 0usize;
+    for (factor, r, sorter) in cases {
+        let shape = Shape::new(factor.n(), r);
+        let ctx = format!("factor={} r={r}", factor.name());
+        let program = compile(factor, r, sorter);
+
+        // 70 lanes — one full word block plus a 6-lane tail — with a
+        // malformed lane inside the full block.
+        let mut inputs: Vec<Vec<u64>> =
+            (0..70).map(|s| lcg_keys(shape.len(), 0xFA17 + s)).collect();
+        inputs[5] = vec![1, 2, 3];
+
+        for policy in [RetryPolicy::default(), RetryPolicy::detect_only()] {
+            for seed in 0..6u64 {
+                let plan = FaultPlan::random(seed, 5_000);
+
+                // Fresh rings per run so the two streams compare 1:1.
+                let (bsp_a, logger_a, reader_a) = traced_machine(factor, r);
+                let mut a = inputs.clone();
+                let ra = bsp_a.run_batch_with_faults(&mut a, &program, &plan, &policy);
+
+                let (bsp_b, logger_b, reader_b) = traced_machine(factor, r);
+                let vertical = bsp_b
+                    .lower_vertical(&program)
+                    .expect("compiled programs validate");
+                let mut pool = VerticalPool::new();
+                let mut b = inputs.clone();
+                let rb = bsp_b
+                    .run_vertical_batch_with_faults(&mut b, &vertical, &plan, &policy, &mut pool);
+
+                assert_eq!(ra, rb, "{ctx} seed={seed}: fault reports diverge");
+                assert_eq!(a, b, "{ctx} seed={seed}: faulty keys diverge");
+                assert!(
+                    ra[5].is_err(),
+                    "{ctx} seed={seed}: malformed lane must error on both paths"
+                );
+
+                logger_a.flush();
+                logger_b.flush();
+                let fa = fault_event_stream(&reader_a.events());
+                let fb = fault_event_stream(&reader_b.events());
+                assert_eq!(fa, fb, "{ctx} seed={seed}: fault event streams diverge");
+                injections += fa
+                    .iter()
+                    .filter(|e| matches!(e, Event::FaultInjected { .. }))
+                    .count();
+            }
+        }
+    }
+    // The comparison must not be vacuous: across 3 fixtures x 2
+    // policies x 6 seeds at 5000 ppm, faults definitely fired.
+    assert!(injections > 0, "no fault was ever injected — dead test");
 }

@@ -71,6 +71,29 @@ fn executed_grid_sort_all_zero_one_inputs() {
     });
 }
 
+/// The deterministic 4096-mask sample used by the tier-1 BSP checks:
+/// structured corner masks first, then a seeded LCG stream. The
+/// all-zeros and all-ones boundary vectors are a checked *guarantee* of
+/// the sample, not luck of the seed — a future edit that drops them
+/// fails here, not silently.
+fn sampled_hypercube_masks() -> Vec<u32> {
+    let mut masks: Vec<u32> = vec![0, 0xFFFF, 0x5555, 0xAAAA, 0x00FF, 0xFF00, 0x0F0F, 0xF0F0];
+    let mut state: u64 = 0x5EED_2E01;
+    while masks.len() < 4096 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        masks.push((state >> 33) as u32 & 0xFFFF);
+    }
+    for corner in [0u32, 0xFFFF] {
+        assert!(
+            masks.contains(&corner),
+            "sample must pin the {corner:#06x} boundary vector"
+        );
+    }
+    masks
+}
+
 #[test]
 fn bsp_hypercube_4_zero_one_sampled() {
     // Tier-1 slice of the heavy sweep `bsp_hypercube_4_zero_one_exhaustive`
@@ -84,15 +107,7 @@ fn bsp_hypercube_4_zero_one_sampled() {
     let program = compile(&factor, 4, &Hypercube2Sorter);
     let optimized = program.optimized();
     let machine = BspMachine::new(&factor, 4);
-    let mut masks: Vec<u32> = vec![0, 0xFFFF, 0x5555, 0xAAAA, 0x00FF, 0xFF00, 0x0F0F, 0xF0F0];
-    let mut state: u64 = 0x5EED_2E01;
-    while masks.len() < 4096 {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        masks.push((state >> 33) as u32 & 0xFFFF);
-    }
-    for mask in masks {
+    for mask in sampled_hypercube_masks() {
         let input: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
         let zeros = input.iter().filter(|&&k| k == 0).count();
         let mut serial = input.clone();
@@ -108,6 +123,42 @@ fn bsp_hypercube_4_zero_one_sampled() {
             let mut par = input.clone();
             machine.run_parallel(&mut par, prog);
             assert_eq!(par, serial, "mask={mask:#06x}: parallel vs serial");
+        }
+    }
+}
+
+#[test]
+fn vertical_exhaustive_sweep_subsumes_the_sampled_check() {
+    // The bit-sliced vertical tier (tests/vertical.rs) sweeps *all*
+    // 2^16 masks of the 4-cube — a strict superset of the 4096-mask
+    // sample above. This test closes the loop on the smallest sampled
+    // fixture: every sampled mask, pushed through the vertical tier 64
+    // lanes at a time, lands bit-identical to the serial BSP machine,
+    // so the exhaustive vertical sweep subsumes the sampled tier-1
+    // check rather than merely running alongside it.
+    use product_sort::sim::bsp::{compile, BspMachine};
+    use product_sort::sim::{pack_zero_one_masks, unpack_zero_one_lane, BitScratch, WORD_LANES};
+
+    let factor = factories::k2();
+    let program = compile(&factor, 4, &Hypercube2Sorter);
+    let machine = BspMachine::new(&factor, 4);
+    let vertical = machine
+        .lower_vertical(&program)
+        .expect("compiled programs validate");
+    let mut scratch = BitScratch::new();
+    let masks = sampled_hypercube_masks();
+    for block in masks.chunks(WORD_LANES) {
+        let lanes: Vec<u64> = block.iter().map(|&m| u64::from(m)).collect();
+        let mut words = pack_zero_one_masks(&lanes, 16);
+        machine.run_vertical_bits(&mut words, &vertical, &mut scratch);
+        for (l, &mask) in block.iter().enumerate() {
+            let mut serial: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            machine.run(&mut serial, &program);
+            assert_eq!(
+                unpack_zero_one_lane(&words, l),
+                serial,
+                "mask={mask:#06x}: vertical lane vs serial machine"
+            );
         }
     }
 }
