@@ -221,6 +221,74 @@ fn bench_obs_overhead(c: &mut Criterion) {
             black_box(batch)
         });
     });
+
+    // The span-layer tax on the hot tiers. The `disabled` variants are
+    // the baseline (a disabled logger's span() is one branch, no clock
+    // read — the <2% bar); the `summary`/`profile` variants price an
+    // actually-attached aggregating sink (<5% bar). Round events and
+    // spans on these tiers gate on ROUND_OBS_MIN_OPS, which is what
+    // keeps the enabled tax bounded on small-round programs.
+    let keys = random_keys(27, 41);
+    let kernel_machine = BspMachine::new(&fx.cube3, 3);
+    let mut scratch = ExecScratch::new();
+    group.bench_function("kernel_run_disabled", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(kernel_machine.run_kernel(&mut k, &fx.cube3_kernel, &mut scratch));
+            black_box(k)
+        });
+    });
+    for (name, sink) in [
+        (
+            "kernel_run_summary",
+            Box::new(pns_obs::SummarySink::new("bench")) as Box<dyn pns_obs::Sink>,
+        ),
+        (
+            "kernel_run_profile",
+            Box::new(pns_obs::ProfileSink::new("bench", None)),
+        ),
+    ] {
+        let mut traced = BspMachine::new(&fx.cube3, 3);
+        traced.attach_logger(pns_obs::EventLogger::new(sink));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                black_box(traced.run_kernel(&mut k, &fx.cube3_kernel, &mut scratch));
+                black_box(k)
+            });
+        });
+    }
+
+    let words: Vec<u64> = random_keys(100, 43);
+    let bits_machine = BspMachine::new(&fx.petersen, 2);
+    let mut bits = BitScratch::new();
+    group.bench_function("vertical_bits_disabled", |b| {
+        b.iter(|| {
+            let mut w = words.clone();
+            black_box(bits_machine.run_vertical_bits(&mut w, &fx.petersen_vertical, &mut bits));
+            black_box(w)
+        });
+    });
+    for (name, sink) in [
+        (
+            "vertical_bits_summary",
+            Box::new(pns_obs::SummarySink::new("bench")) as Box<dyn pns_obs::Sink>,
+        ),
+        (
+            "vertical_bits_profile",
+            Box::new(pns_obs::ProfileSink::new("bench", None)),
+        ),
+    ] {
+        let mut traced = BspMachine::new(&fx.petersen, 2);
+        traced.attach_logger(pns_obs::EventLogger::new(sink));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = words.clone();
+                black_box(traced.run_vertical_bits(&mut w, &fx.petersen_vertical, &mut bits));
+                black_box(w)
+            });
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,135 @@
+//! The perf-regression sentinel. Diffs current `BENCH_*.json`
+//! artifacts against a committed baseline directory and exits non-zero
+//! when any tracked metric worsened past the threshold:
+//!
+//! ```text
+//! bench_compare [--threshold 0.15] <baseline-dir> <current-dir>
+//! bench_compare --self-check
+//! ```
+//!
+//! Every `*.json` in the baseline directory must have a same-named
+//! counterpart in the current directory (a benchmark that stopped
+//! producing its artifact is itself a regression); extra files in the
+//! current directory are new benchmarks without a baseline yet and are
+//! listed but not compared. Metric direction comes from the field name
+//! (`*_ms`/`*_ns`/`*_allocs` lower-better, `*_speedup`/`*_ratio`/
+//! `*coverage*` higher-better); see `pns_bench::compare`.
+//!
+//! `--self-check` runs the embedded fixtures instead (a synthetic 20%
+//! regression must be flagged, identical artifacts must pass, garbage
+//! must be rejected) — the tier-1 CI smoke that proves the sentinel
+//! itself still fires.
+//!
+//! Exit codes: 0 clean, 1 regression (or failed self-check), 2 usage
+//! or I/O error.
+
+use pns_bench::compare::{compare_json, self_check, DEFAULT_THRESHOLD};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut dirs: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-check" => {
+                let failures = self_check();
+                if failures.is_empty() {
+                    println!("bench_compare self-check: ok");
+                    return ExitCode::SUCCESS;
+                }
+                for f in &failures {
+                    eprintln!("bench_compare self-check FAILED: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            "--threshold" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a number");
+                    return ExitCode::from(2);
+                };
+                threshold = value;
+            }
+            other => dirs.push(other.to_owned()),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        eprintln!(
+            "usage: bench_compare [--threshold {DEFAULT_THRESHOLD}] <baseline-dir> <current-dir>\n       bench_compare --self-check"
+        );
+        return ExitCode::from(2);
+    };
+
+    let mut baselines: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read baseline dir {baseline_dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!("no *.json baselines in {baseline_dir}");
+        return ExitCode::from(2);
+    }
+
+    let mut regressed = false;
+    for name in &baselines {
+        let base_path = Path::new(baseline_dir).join(name);
+        let cur_path = Path::new(current_dir).join(name);
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", base_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let cur = match std::fs::read_to_string(&cur_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "REGRESSION {name}: current artifact missing ({}: {e})",
+                    cur_path.display()
+                );
+                regressed = true;
+                continue;
+            }
+        };
+        match compare_json(&base, &cur, threshold) {
+            Ok(c) => {
+                println!(
+                    "{name}: {} metrics compared, {} regressions, {} improvements",
+                    c.compared,
+                    c.regressions.len(),
+                    c.improvements.len()
+                );
+                for r in &c.regressions {
+                    eprintln!("  REGRESSION {r}");
+                    regressed = true;
+                }
+                for i in &c.improvements {
+                    println!("  improved {i}");
+                }
+                for u in &c.unmatched {
+                    println!("  note: {u}");
+                }
+            }
+            Err(e) => {
+                eprintln!("REGRESSION {name}: {e}");
+                regressed = true;
+            }
+        }
+    }
+    if regressed {
+        eprintln!("bench_compare: regressions past {:.0}%", threshold * 100.0);
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: clean at {:.0}%", threshold * 100.0);
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment binary: prints the e21_profile report and writes the
+//! measured rows to `BENCH_e21_profile.json` (nightly CI uploads it as
+//! an artifact and diffs it against `BENCH_baseline/` with
+//! `bench_compare`, so per-tier timings are tracked over time).
+
+fn main() {
+    let rows = pns_bench::experiments::e21_profile::collect();
+    let report = pns_bench::experiments::e21_profile::report_from_rows(&rows);
+    println!("{}", report.to_markdown());
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write("BENCH_e21_profile.json", json).expect("write BENCH_e21_profile.json");
+    eprintln!("wrote BENCH_e21_profile.json ({} tiers)", rows.len());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

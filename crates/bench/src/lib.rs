@@ -6,6 +6,7 @@
 //! `e05_cost_model`), or all of them with `--bin all_experiments`.
 //! `EXPERIMENTS.md` at the workspace root records the outputs.
 
+pub mod compare;
 pub mod report;
 
 pub mod experiments {
@@ -33,6 +34,7 @@ pub mod experiments {
     pub mod e18_fault_tolerance;
     pub mod e19_kernel_speedup;
     pub mod e20_vertical_speedup;
+    pub mod e21_profile;
 }
 
 pub use report::Report;
@@ -65,6 +67,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e18_fault_tolerance", e18_fault_tolerance::run),
         ("e19_kernel_speedup", e19_kernel_speedup::run),
         ("e20_vertical_speedup", e20_vertical_speedup::run),
+        ("e21_profile", e21_profile::run),
         ("a01_labeling", a01_labeling::run),
         ("a02_pg2_sorter", a02_pg2_sorter::run),
         ("a03_sorting_network", a03_sorting_network::run),

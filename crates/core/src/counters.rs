@@ -83,6 +83,19 @@ impl Counters {
     pub fn versus_predicted(&self, r: usize) -> CountersVsPredicted {
         CountersVsPredicted { counters: *self, r }
     }
+
+    /// Publish these counters into a metrics [`Registry`] under the
+    /// `pns_` namespace, so algorithm-level accounting lands in the
+    /// same snapshot as executor timings.
+    ///
+    /// [`Registry`]: pns_obs::Registry
+    pub fn export_to(&self, registry: &mut pns_obs::Registry) {
+        registry.set_counter("pns_alg_s2_units_total", self.s2_units);
+        registry.set_counter("pns_alg_route_units_total", self.route_units);
+        registry.set_counter("pns_alg_base_sorts_total", self.base_sorts);
+        registry.set_counter("pns_alg_compare_exchanges_total", self.compare_exchanges);
+        registry.set_counter("pns_alg_merges_total", self.merges);
+    }
 }
 
 impl std::fmt::Display for Counters {
@@ -156,6 +169,19 @@ impl RetryCounters {
         } else {
             self.total_rounds() as f64 / self.useful_rounds as f64
         }
+    }
+
+    /// Publish retry accounting into a metrics [`Registry`] under the
+    /// `pns_` namespace: raw round/retry/detection totals plus the
+    /// derived inflation gauge.
+    ///
+    /// [`Registry`]: pns_obs::Registry
+    pub fn export_to(&self, registry: &mut pns_obs::Registry) {
+        registry.set_counter("pns_fault_useful_rounds_total", self.useful_rounds);
+        registry.set_counter("pns_fault_wasted_rounds_total", self.wasted_rounds);
+        registry.set_counter("pns_fault_retries_total", self.retries);
+        registry.set_counter("pns_fault_detections_total", self.detections);
+        registry.set_gauge("pns_fault_step_inflation", self.inflation());
     }
 }
 

@@ -26,6 +26,13 @@
 //!   `pns-simulator`'s fault-injecting executor: one per fired fault
 //!   site, per failed certificate check, per checkpoint restore, and per
 //!   batch lane that fell back to a clean serial re-run.
+//! * **Span layer** ([`Event::SpanEnter`], [`Event::SpanExit`]) —
+//!   emitted by [`crate::SpanGuard`]s opened through
+//!   [`crate::EventLogger::span`]: a timed, hierarchical interval
+//!   attributed to a `(tier, stage, class)` coordinate (codes defined in
+//!   [`crate::span`]). The exit carries the duration measured by the
+//!   guard's own monotonic clock, so aggregation never pairs timestamps
+//!   across threads.
 
 use serde::{Deserialize, Serialize};
 
@@ -165,6 +172,29 @@ pub enum Event {
         /// Index of the quarantined lane within the batch.
         lane: u64,
     },
+    /// A timing span opened (see [`crate::EventLogger::span`]).
+    SpanEnter {
+        /// Process-unique span id (never 0).
+        span: u64,
+        /// Id of the innermost span open on the emitting thread when
+        /// this one opened; 0 for a root span.
+        parent: u64,
+        /// Execution-tier code ([`crate::Tier::code`]).
+        tier: u64,
+        /// Stage code ([`crate::Stage::code`]).
+        stage: u64,
+        /// Round-class code ([`crate::SpanClass::code`]); 0 for
+        /// non-round spans.
+        class: u64,
+    },
+    /// The matching close of a [`Event::SpanEnter`] (same `span`).
+    SpanExit {
+        /// Id of the closing span.
+        span: u64,
+        /// Duration in nanoseconds, measured by the guard's monotonic
+        /// clock between open and drop.
+        dur_ns: u64,
+    },
 }
 
 impl Event {
@@ -203,6 +233,8 @@ impl Event {
             Event::FaultDetected { .. } => "fault_detected",
             Event::RetryRound { .. } => "retry_round",
             Event::LaneQuarantined { .. } => "lane_quarantined",
+            Event::SpanEnter { .. } => "span_enter",
+            Event::SpanExit { .. } => "span_exit",
         }
     }
 }
@@ -314,6 +346,15 @@ mod tests {
             }
             .kind(),
             Event::LaneQuarantined { lane: 0 }.kind(),
+            Event::SpanEnter {
+                span: 1,
+                parent: 0,
+                tier: 1,
+                stage: 1,
+                class: 0,
+            }
+            .kind(),
+            Event::SpanExit { span: 1, dur_ns: 0 }.kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

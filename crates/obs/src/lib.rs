@@ -12,7 +12,16 @@
 //! Layering: this crate depends only on `serde`/`serde_json` (for the
 //! JSONL sink); `pns-core` and `pns-simulator` depend on it and emit
 //! events, and `pns-bench` selects sinks via the `PNS_OBS` environment
-//! variable (`jsonl[:path]` | `summary` | `off`).
+//! variable (`jsonl[:path]` | `summary` | `profile[:path]` |
+//! `prom[:path]` | `off`).
+//!
+//! On top of the flat events sits v2's timing layer: RAII
+//! [`SpanGuard`]s ([`EventLogger::span`]) stamp hierarchical
+//! [`Event::SpanEnter`]/[`Event::SpanExit`] pairs whose durations a
+//! [`Profile`] aggregates into per-`(tier, stage, round-class)` latency
+//! histograms with self-vs-child attribution, and a [`Registry`] of
+//! named counters/gauges/histograms snapshots everything as JSON or
+//! Prometheus text.
 //!
 //! The one cross-crate invariant worth stating here: summing the
 //! `units` fields of [`Event::S2Unit`] / [`Event::RouteUnit`] in a
@@ -24,12 +33,18 @@
 pub mod event;
 pub mod logger;
 pub mod metrics;
+pub mod profile;
+pub mod registry;
 pub mod sink;
+pub mod span;
 
 pub use event::{Event, TimedEvent};
 pub use logger::EventLogger;
 pub use metrics::{Histogram, ObsSummary};
+pub use profile::{Profile, SpanKey, SpanStat};
+pub use registry::Registry;
 pub use sink::{
-    from_env, sink_from_directive, JsonlSink, MemoryReader, MemorySink, MultiSink, Sink,
-    SummarySink,
+    from_env, sink_from_directive, try_from_env, Directive, DirectiveError, JsonlSink,
+    MemoryReader, MemorySink, MultiSink, ProfileSink, PromSink, Sink, SummarySink,
 };
+pub use span::{SpanClass, SpanGuard, Stage, Tier, ROUND_OBS_MIN_OPS, SORT_OBS_MIN_OPS};

@@ -33,7 +33,14 @@ impl LoggerCore {
         if events.is_empty() {
             return;
         }
-        self.sink.lock().expect("sink lock").record(events);
+        // Recover from poisoning: sinks are passive collectors, and the
+        // flush-on-panic path must not double-panic on a lock a dying
+        // thread poisoned.
+        let mut sink = match self.sink.lock() {
+            Ok(sink) => sink,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sink.record(events);
     }
 }
 
@@ -74,14 +81,26 @@ impl EventLogger {
     }
 
     /// A logger selected by the `PNS_OBS` environment variable
-    /// (`jsonl[:path]` | `summary` | `off`/unset); disabled when the
-    /// variable selects no sink.
+    /// (`jsonl[:path]` | `summary` | `profile[:path]` | `prom[:path]` |
+    /// `off`/unset); disabled when the variable selects no sink. Unknown
+    /// directives are reported on stderr and treated as `off`; use
+    /// [`EventLogger::try_from_env`] for the typed error.
     #[must_use]
     pub fn from_env(label: &str) -> Self {
         match crate::sink::from_env(label) {
             Some(sink) => EventLogger::new(sink),
             None => EventLogger::disabled(),
         }
+    }
+
+    /// Like [`EventLogger::from_env`], but surfaces a malformed
+    /// `PNS_OBS` value as a typed [`crate::DirectiveError`] instead of
+    /// logging and falling back to disabled.
+    pub fn try_from_env(label: &str) -> Result<Self, crate::sink::DirectiveError> {
+        Ok(match crate::sink::try_from_env(label)? {
+            Some(sink) => EventLogger::new(sink),
+            None => EventLogger::disabled(),
+        })
     }
 
     /// `true` iff events are recorded.
@@ -126,7 +145,11 @@ impl EventLogger {
     pub fn finish(&self) {
         let Some(core) = &self.core else { return };
         self.flush();
-        core.sink.lock().expect("sink lock").finish();
+        let mut sink = match core.sink.lock() {
+            Ok(sink) => sink,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sink.finish();
     }
 
     /// Events currently buffered on the calling thread for this logger
@@ -135,6 +158,33 @@ impl EventLogger {
     pub fn buffered_len(&self) -> usize {
         let Some(core) = &self.core else { return 0 };
         BUFFERS.with(|buffers| buffers.borrow().len(core.id))
+    }
+}
+
+impl Drop for EventLogger {
+    /// Flush the calling thread's buffer when this handle is dropped
+    /// while unwinding (so a panicking sort still lands its buffered
+    /// events in the sink) or when it is the last handle to the core
+    /// (so a logger going out of scope leaves nothing stranded on its
+    /// own thread). Never calls `finish` — sinks that print on finish
+    /// must not fire from a destructor.
+    fn drop(&mut self) {
+        let Some(core) = &self.core else { return };
+        if !std::thread::panicking() && Arc::strong_count(core) > 1 {
+            return;
+        }
+        // `try_with`/`try_borrow_mut`: this can run during thread
+        // teardown or mid-unwind; failing to flush is better than a
+        // double panic (= abort).
+        let batch = BUFFERS
+            .try_with(|buffers| {
+                buffers
+                    .try_borrow_mut()
+                    .map(|mut b| b.take(core.id))
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default();
+        core.ingest(&batch);
     }
 }
 
@@ -302,6 +352,42 @@ mod tests {
         logger.flush();
         let stamps: Vec<u64> = reader.events().iter().map(|e| e.t_ns).collect();
         assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{stamps:?}");
+    }
+
+    #[test]
+    fn buffered_events_survive_a_panic() {
+        let (sink, reader) = MemorySink::with_capacity(1024);
+        let logger = EventLogger::new(Box::new(sink));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let local = logger.clone();
+            local.log(|| Event::RoundStart {
+                round: 0,
+                ops: 9,
+                parallel: false,
+            });
+            assert_eq!(local.buffered_len(), 1);
+            panic!("deliberate mid-sort failure");
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            reader.len(),
+            1,
+            "the clone dropped while unwinding must flush its thread buffer"
+        );
+    }
+
+    #[test]
+    fn last_handle_drop_flushes_without_finishing() {
+        let (sink, reader) = MemorySink::with_capacity(1024);
+        let logger = EventLogger::new(Box::new(sink));
+        logger.log(|| Event::RoundEnd { round: 7 });
+        assert!(reader.is_empty());
+        drop(logger);
+        assert_eq!(
+            reader.len(),
+            1,
+            "dropping the last handle drains the buffer"
+        );
     }
 
     #[test]

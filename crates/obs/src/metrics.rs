@@ -20,7 +20,7 @@ const BUCKETS: usize = 64;
 /// so quantiles are exact to within a factor of two — plenty for
 /// "which phase dominates" questions, with no dependencies and O(1)
 /// record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: [u64; BUCKETS],
     total: u64,
@@ -49,10 +49,47 @@ impl Histogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Fold `other` into `self`. The result is identical (by `==`) to a
+    /// histogram that recorded both sample sets directly — the log2
+    /// buckets, total, saturating sum, and max all compose.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Recorded samples.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Saturating sum of recorded values.
+    #[must_use]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Per-bucket sample counts; bucket `i` holds values of bit length
+    /// `i` (bucket 0 holds only the value 0, the last bucket also
+    /// absorbs everything of greater bit length).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Inclusive upper bound of bucket `i`: 0, then `2^i - 1`, with the
+    /// last bucket unbounded (`u64::MAX`, since it absorbs the cap).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i >= BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
     }
 
     /// Largest recorded value.
@@ -86,8 +123,8 @@ impl Histogram {
         for (bucket, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                // Bucket i holds values with bit length i: upper bound 2^i - 1.
-                return if bucket == 0 { 0 } else { (1u64 << bucket) - 1 };
+                // The quantile estimate never exceeds the observed max.
+                return Histogram::bucket_upper_bound(bucket).min(self.max_ns);
             }
         }
         self.max_ns
@@ -164,6 +201,14 @@ pub struct ObsSummary {
     pub retries: u64,
     /// Batch lanes that fell back to a clean serial re-run.
     pub quarantined: u64,
+    /// Timing spans opened (`SpanEnter` events).
+    pub spans_opened: u64,
+    /// Timing spans closed (`SpanExit` events).
+    pub spans_closed: u64,
+    /// Span durations, from the guard-measured `dur_ns` on each exit.
+    /// The per-`(tier, stage, class)` breakdown lives in
+    /// [`crate::Profile`]; this is the undifferentiated roll-up.
+    pub span_ns: Histogram,
     open_rounds: HashMap<u64, u64>,
 }
 
@@ -240,7 +285,19 @@ impl ObsSummary {
             Event::FaultDetected { .. } => self.faults_detected += 1,
             Event::RetryRound { .. } => self.retries += 1,
             Event::LaneQuarantined { .. } => self.quarantined += 1,
+            Event::SpanEnter { .. } => self.spans_opened += 1,
+            Event::SpanExit { dur_ns, .. } => {
+                self.spans_closed += 1;
+                self.span_ns.record(dur_ns);
+            }
         }
+    }
+
+    /// Spans whose exit never arrived (0 for a fully drained stream in
+    /// which every guard was dropped).
+    #[must_use]
+    pub fn unmatched_spans(&self) -> u64 {
+        self.spans_opened.saturating_sub(self.spans_closed)
     }
 
     /// Cache hit ratio in `[0, 1]`; 0 when no lookup happened.
@@ -324,7 +381,7 @@ impl fmt::Display for ObsSummary {
             "  {:<22} {:>12}  ({} cx elided, {} rounds fused)",
             "programs validated", self.validated, self.elided_cx, self.fused
         )?;
-        write!(
+        writeln!(
             f,
             "  {:<22} {:>12}  ({} detected, {} retries, {} quarantined)",
             "faults injected",
@@ -332,6 +389,14 @@ impl fmt::Display for ObsSummary {
             self.faults_detected,
             self.retries,
             self.quarantined
+        )?;
+        write!(
+            f,
+            "  {:<22} {:>12}  ({} open, durations {})",
+            "timing spans",
+            self.spans_closed,
+            self.unmatched_spans(),
+            self.span_ns
         )
     }
 }
@@ -360,6 +425,101 @@ mod tests {
         let p100 = h.quantile_ns(1.0);
         assert!((1_000_000..2_097_152).contains(&p100), "{p100}");
         assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    fn histogram_power_of_two_boundaries() {
+        // A value of bit length i lands in bucket i: 2^k - 1 and 2^k
+        // straddle a bucket boundary for every k.
+        for k in 1..63u32 {
+            let below = (1u64 << k) - 1;
+            let at = 1u64 << k;
+            let mut h = Histogram::default();
+            h.record(below);
+            h.record(at);
+            let counts = h.bucket_counts();
+            assert_eq!(counts[k as usize], 1, "2^{k}-1 in bucket {k}");
+            assert_eq!(counts[k as usize + 1], 1, "2^{k} in bucket {}", k + 1);
+            assert_eq!(Histogram::bucket_upper_bound(k as usize), below);
+        }
+    }
+
+    #[test]
+    fn histogram_zero_and_max_extremes() {
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.quantile_ns(1.0), 0);
+        h.record(u64::MAX);
+        // u64::MAX has bit length 64: capped into the last bucket.
+        assert_eq!(h.bucket_counts()[63], 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), u64::MAX);
+        assert_eq!(h.sum_ns(), u64::MAX, "sum saturates, not wraps");
+        assert_eq!(h.quantile_ns(1.0), u64::MAX);
+        assert_eq!(h.quantile_ns(0.0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
+        // Saturation holds under further records.
+        h.record(u64::MAX);
+        assert_eq!(h.sum_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let left: Vec<u64> = vec![0, 1, 5, 127, 128, 4096, u64::MAX];
+        let right: Vec<u64> = vec![3, 64, 65, 1 << 40, (1 << 40) - 1];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut concat = Histogram::default();
+        for &ns in &left {
+            a.record(ns);
+            concat.record(ns);
+        }
+        for &ns in &right {
+            b.record(ns);
+            concat.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, concat);
+        // Merging an empty histogram is the identity.
+        let before = concat.clone();
+        concat.merge(&Histogram::default());
+        assert_eq!(concat, before);
+    }
+
+    #[test]
+    fn summary_counts_spans() {
+        let events = vec![
+            at(
+                0,
+                Event::SpanEnter {
+                    span: 1,
+                    parent: 0,
+                    tier: 3,
+                    stage: 1,
+                    class: 0,
+                },
+            ),
+            at(
+                5,
+                Event::SpanEnter {
+                    span: 2,
+                    parent: 1,
+                    tier: 3,
+                    stage: 3,
+                    class: 2,
+                },
+            ),
+            at(9, Event::SpanExit { span: 2, dur_ns: 4 }),
+        ];
+        let s = ObsSummary::from_events(&events);
+        assert_eq!(s.spans_opened, 2);
+        assert_eq!(s.spans_closed, 1);
+        assert_eq!(s.unmatched_spans(), 1);
+        assert_eq!(s.span_ns.count(), 1);
+        assert_eq!(s.span_ns.max_ns(), 4);
+        assert!(s.to_string().contains("timing spans"));
     }
 
     #[test]

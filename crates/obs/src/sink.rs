@@ -1,6 +1,6 @@
 //! Pluggable event sinks: where drained event batches go.
 //!
-//! Three concrete sinks cover the three consumers:
+//! Five concrete sinks cover the consumers:
 //!
 //! * [`MemorySink`] — a bounded in-memory ring, read back through a
 //!   [`MemoryReader`]; the test and assertion sink.
@@ -9,14 +9,25 @@
 //! * [`SummarySink`] — aggregates the stream into an
 //!   [`ObsSummary`](crate::ObsSummary) and prints the table to stderr
 //!   when finished; the interactive sink.
+//! * [`ProfileSink`] — aggregates spans into a
+//!   [`Profile`](crate::Profile) and writes the time-breakdown table
+//!   (stderr, or a file when given a path).
+//! * [`PromSink`] — same aggregation, written as a Prometheus text
+//!   exposition via the metrics [`Registry`](crate::Registry).
 //!
-//! [`from_env`] selects a sink from the `PNS_OBS` environment variable
-//! (`jsonl[:path]`, `summary`, `off`), and [`MultiSink`] tees one
-//! stream into several sinks.
+//! [`Directive`] is the typed form of the `PNS_OBS` environment
+//! variable (`jsonl[:path]` | `summary` | `profile[:path]` |
+//! `prom[:path]` | `off`); [`Directive::parse`] rejects unknown values
+//! with a [`DirectiveError`] instead of silently disabling tracing.
+//! [`from_env`] selects a sink from `PNS_OBS`, and [`MultiSink`] tees
+//! one stream into several sinks.
 
 use crate::event::TimedEvent;
 use crate::metrics::ObsSummary;
+use crate::profile::Profile;
+use crate::registry::Registry;
 use std::collections::VecDeque;
+use std::fmt;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
@@ -198,6 +209,91 @@ impl Sink for SummarySink {
     }
 }
 
+/// Aggregates the stream into a [`Profile`] (per-span-key latency,
+/// self-vs-child time, plus the embedded summary) and writes the table
+/// on finish: to `path` when given, else to stderr.
+pub struct ProfileSink {
+    profile: Profile,
+    label: String,
+    path: Option<String>,
+}
+
+impl ProfileSink {
+    /// A profile sink titled `label`; `path` selects file output.
+    #[must_use]
+    pub fn new(label: &str, path: Option<String>) -> Self {
+        ProfileSink {
+            profile: Profile::default(),
+            label: label.to_owned(),
+            path,
+        }
+    }
+}
+
+impl Sink for ProfileSink {
+    fn record(&mut self, events: &[TimedEvent]) {
+        for ev in events {
+            self.profile.record(ev);
+        }
+    }
+
+    fn finish(&mut self) {
+        let rendered = format!("[pns-obs] {} profile\n{}", self.label, self.profile);
+        match &self.path {
+            Some(path) => {
+                // Best-effort: a profile dump must not kill the run.
+                if let Err(err) = std::fs::write(path, &rendered) {
+                    eprintln!("[pns-obs] cannot write profile to {path}: {err}");
+                    eprintln!("{rendered}");
+                }
+            }
+            None => eprintln!("{rendered}"),
+        }
+    }
+}
+
+/// Aggregates the stream like [`ProfileSink`], but writes a Prometheus
+/// text exposition (spans as labeled histograms, summary totals as
+/// counters) on finish: to `path` when given, else to stderr.
+pub struct PromSink {
+    profile: Profile,
+    path: Option<String>,
+}
+
+impl PromSink {
+    /// A Prometheus sink; `path` selects file output.
+    #[must_use]
+    pub fn new(path: Option<String>) -> Self {
+        PromSink {
+            profile: Profile::default(),
+            path,
+        }
+    }
+}
+
+impl Sink for PromSink {
+    fn record(&mut self, events: &[TimedEvent]) {
+        for ev in events {
+            self.profile.record(ev);
+        }
+    }
+
+    fn finish(&mut self) {
+        let mut registry = Registry::new();
+        self.profile.export_to(&mut registry);
+        let text = registry.prometheus_text();
+        match &self.path {
+            Some(path) => {
+                if let Err(err) = std::fs::write(path, &text) {
+                    eprintln!("[pns-obs] cannot write metrics to {path}: {err}");
+                    eprint!("{text}");
+                }
+            }
+            None => eprint!("{text}"),
+        }
+    }
+}
+
 /// Tees one stream into several sinks.
 pub struct MultiSink {
     sinks: Vec<Box<dyn Sink>>,
@@ -225,42 +321,143 @@ impl Sink for MultiSink {
     }
 }
 
-/// Parse a `PNS_OBS`-style directive into a sink:
-///
-/// * `jsonl` — [`JsonlSink`] appending to `obs.jsonl`;
-/// * `jsonl:some/path.jsonl` — [`JsonlSink`] appending to that path;
-/// * `summary` — [`SummarySink`] printing to stderr, titled `label`;
-/// * `off`, empty, or unparseable — no sink (`None`).
-///
-/// A JSONL path that cannot be opened degrades to `None` rather than
-/// failing the run.
+/// The typed form of a `PNS_OBS` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// No tracing (`off`, `0`, empty, or unset).
+    Off,
+    /// JSONL events appended to `path` (default `obs.jsonl`).
+    Jsonl {
+        /// Output path; `None` selects the default.
+        path: Option<String>,
+    },
+    /// Summary table to stderr on finish.
+    Summary,
+    /// Profile table (span time breakdown) on finish.
+    Profile {
+        /// Output path; `None` selects stderr.
+        path: Option<String>,
+    },
+    /// Prometheus text exposition on finish.
+    Prom {
+        /// Output path; `None` selects stderr.
+        path: Option<String>,
+    },
+}
+
+/// A `PNS_OBS` value that names no known sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveError {
+    /// The rejected value, as given.
+    pub value: String,
+}
+
+impl fmt::Display for DirectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown PNS_OBS directive {:?} (expected off | jsonl[:path] | summary | profile[:path] | prom[:path])",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for DirectiveError {}
+
+impl Directive {
+    /// Parse a `PNS_OBS` value. Unknown sink names are an error, not a
+    /// silent `Off` — a typo'd directive should not quietly disable the
+    /// tracing the caller asked for.
+    ///
+    /// # Errors
+    ///
+    /// [`DirectiveError`] when the value names no known sink.
+    pub fn parse(value: &str) -> Result<Directive, DirectiveError> {
+        let value = value.trim();
+        let (head, path) = match value.split_once(':') {
+            Some((head, path)) => (head, Some(path).filter(|p| !p.is_empty())),
+            None => (value, None),
+        };
+        let path = path.map(str::to_owned);
+        match head {
+            "" | "off" | "0" => {
+                if path.is_none() {
+                    Ok(Directive::Off)
+                } else {
+                    Err(DirectiveError {
+                        value: value.to_owned(),
+                    })
+                }
+            }
+            "jsonl" => Ok(Directive::Jsonl { path }),
+            "summary" if path.is_none() => Ok(Directive::Summary),
+            "profile" => Ok(Directive::Profile { path }),
+            "prom" => Ok(Directive::Prom { path }),
+            _ => Err(DirectiveError {
+                value: value.to_owned(),
+            }),
+        }
+    }
+
+    /// Build the sink this directive names; `None` for [`Directive::Off`]
+    /// (and for a JSONL path that cannot be opened, which degrades with
+    /// a stderr note rather than failing the run).
+    #[must_use]
+    pub fn into_sink(self, label: &str) -> Option<Box<dyn Sink>> {
+        match self {
+            Directive::Off => None,
+            Directive::Jsonl { path } => {
+                let path = path.as_deref().unwrap_or("obs.jsonl");
+                match JsonlSink::append(path) {
+                    Ok(sink) => Some(Box::new(sink)),
+                    Err(err) => {
+                        eprintln!("[pns-obs] cannot open {path}: {err}; tracing disabled");
+                        None
+                    }
+                }
+            }
+            Directive::Summary => Some(Box::new(SummarySink::new(label))),
+            Directive::Profile { path } => Some(Box::new(ProfileSink::new(label, path))),
+            Directive::Prom { path } => Some(Box::new(PromSink::new(path))),
+        }
+    }
+}
+
+/// Parse a `PNS_OBS`-style directive into a sink. An unparseable value
+/// is reported on stderr and yields `None` (tracing off); use
+/// [`Directive::parse`] / [`try_from_env`] for the typed error.
 #[must_use]
 pub fn sink_from_directive(directive: &str, label: &str) -> Option<Box<dyn Sink>> {
-    let directive = directive.trim();
-    if let Some(rest) = directive.strip_prefix("jsonl") {
-        let path = rest.strip_prefix(':').filter(|p| !p.is_empty());
-        let path = path.unwrap_or("obs.jsonl");
-        return match JsonlSink::append(path) {
-            Ok(sink) => Some(Box::new(sink)),
-            Err(err) => {
-                eprintln!("[pns-obs] cannot open {path}: {err}; tracing disabled");
-                None
-            }
-        };
+    match Directive::parse(directive) {
+        Ok(directive) => directive.into_sink(label),
+        Err(err) => {
+            eprintln!("[pns-obs] {err}; tracing disabled");
+            None
+        }
     }
-    if directive == "summary" {
-        return Some(Box::new(SummarySink::new(label)));
-    }
-    None
 }
 
 /// [`sink_from_directive`] applied to the `PNS_OBS` environment
-/// variable. Unset means `off`.
+/// variable. Unset means `off`; malformed values are reported on
+/// stderr and treated as `off`.
 #[must_use]
 pub fn from_env(label: &str) -> Option<Box<dyn Sink>> {
     std::env::var("PNS_OBS")
         .ok()
         .and_then(|v| sink_from_directive(&v, label))
+}
+
+/// Typed-error variant of [`from_env`]: `Ok(None)` when `PNS_OBS` is
+/// unset or `off`, `Ok(Some(sink))` for a valid sink directive.
+///
+/// # Errors
+///
+/// [`DirectiveError`] when `PNS_OBS` is set to a malformed value.
+pub fn try_from_env(label: &str) -> Result<Option<Box<dyn Sink>>, DirectiveError> {
+    match std::env::var("PNS_OBS") {
+        Ok(value) => Ok(Directive::parse(&value)?.into_sink(label)),
+        Err(_) => Ok(None),
+    }
 }
 
 #[cfg(test)]
@@ -334,5 +531,121 @@ mod tests {
         let mut sink = SummarySink::new("test run");
         sink.record(&[ev(1)]);
         sink.finish();
+    }
+
+    #[test]
+    fn every_directive_variant_parses() {
+        assert_eq!(Directive::parse(""), Ok(Directive::Off));
+        assert_eq!(Directive::parse("off"), Ok(Directive::Off));
+        assert_eq!(Directive::parse("0"), Ok(Directive::Off));
+        assert_eq!(Directive::parse("  off  "), Ok(Directive::Off));
+        assert_eq!(
+            Directive::parse("jsonl"),
+            Ok(Directive::Jsonl { path: None })
+        );
+        assert_eq!(
+            Directive::parse("jsonl:/tmp/x.jsonl"),
+            Ok(Directive::Jsonl {
+                path: Some("/tmp/x.jsonl".to_owned())
+            })
+        );
+        // A trailing colon with no path means the default path.
+        assert_eq!(
+            Directive::parse("jsonl:"),
+            Ok(Directive::Jsonl { path: None })
+        );
+        assert_eq!(Directive::parse("summary"), Ok(Directive::Summary));
+        assert_eq!(
+            Directive::parse("profile"),
+            Ok(Directive::Profile { path: None })
+        );
+        assert_eq!(
+            Directive::parse("profile:out.txt"),
+            Ok(Directive::Profile {
+                path: Some("out.txt".to_owned())
+            })
+        );
+        assert_eq!(Directive::parse("prom"), Ok(Directive::Prom { path: None }));
+        assert_eq!(
+            Directive::parse("prom:metrics.prom"),
+            Ok(Directive::Prom {
+                path: Some("metrics.prom".to_owned())
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_directives_are_typed_errors() {
+        for bad in [
+            "nonsense",
+            "json",
+            "jsonlx",
+            "summary:path",
+            "off:x",
+            "Profile",
+        ] {
+            let err = Directive::parse(bad).expect_err(bad);
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains(bad), "{msg}");
+            assert!(msg.contains("profile[:path]"), "{msg}");
+        }
+        // The untyped path degrades to None for compatibility.
+        assert!(sink_from_directive("nonsense", "t").is_none());
+    }
+
+    #[test]
+    fn directive_variants_build_their_sinks() {
+        assert!(Directive::Off.into_sink("t").is_none());
+        assert!(Directive::Summary.into_sink("t").is_some());
+        assert!(Directive::Profile { path: None }.into_sink("t").is_some());
+        assert!(Directive::Prom { path: None }.into_sink("t").is_some());
+    }
+
+    #[test]
+    fn profile_sink_writes_its_table_to_a_file() {
+        use crate::event::Event;
+        let path = std::env::temp_dir().join("pns_obs_profile_sink_test.txt");
+        let path_str = path.to_str().expect("utf-8 temp path").to_owned();
+        let mut sink = ProfileSink::new("profile test", Some(path_str));
+        sink.record(&[
+            TimedEvent {
+                t_ns: 0,
+                event: Event::SpanEnter {
+                    span: 1,
+                    parent: 0,
+                    tier: 3,
+                    stage: 1,
+                    class: 0,
+                },
+            },
+            TimedEvent {
+                t_ns: 10,
+                event: Event::SpanExit {
+                    span: 1,
+                    dur_ns: 10,
+                },
+            },
+        ]);
+        sink.finish();
+        let text = std::fs::read_to_string(&path).expect("profile file written");
+        assert!(text.contains("kernel/sort"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prom_sink_writes_an_exposition_to_a_file() {
+        use crate::event::Event;
+        let path = std::env::temp_dir().join("pns_obs_prom_sink_test.prom");
+        let path_str = path.to_str().expect("utf-8 temp path").to_owned();
+        let mut sink = PromSink::new(Some(path_str));
+        sink.record(&[TimedEvent {
+            t_ns: 0,
+            event: Event::S2Unit { units: 3, width: 0 },
+        }]);
+        sink.finish();
+        let text = std::fs::read_to_string(&path).expect("prom file written");
+        assert!(text.contains("pns_s2_units_total 3"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 }

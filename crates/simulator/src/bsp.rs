@@ -23,7 +23,7 @@ use crate::engine::{Engine, Pg2Instance};
 use crate::netsort::network_merge;
 use crate::sorters::Pg2Sorter;
 use pns_graph::Graph;
-use pns_obs::{Event, EventLogger};
+use pns_obs::{Event, EventLogger, SpanClass, Stage, Tier, ROUND_OBS_MIN_OPS};
 use pns_order::radix::Shape;
 use pns_order::Direction;
 use std::collections::HashMap;
@@ -655,6 +655,7 @@ impl BspMachine {
             "program compiled for another shape"
         );
         assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
+        let _sort_span = self.logger.span(Tier::Serial, Stage::Sort, SpanClass::None);
         let n_nodes = keys.len();
         let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; n_nodes];
         // Per-round discipline tracking, hoisted out of the loop and
@@ -673,6 +674,12 @@ impl BspMachine {
                 ops: round.len() as u64,
                 parallel: false,
             });
+            let _round_span = self.logger.span_if(
+                round.len() >= ROUND_OBS_MIN_OPS,
+                Tier::Serial,
+                Stage::Round,
+                SpanClass::None,
+            );
             key_touched.fill(false);
             slot_written.clear();
             edge_used.clear();
@@ -982,7 +989,15 @@ impl BspMachine {
     where
         K: Ord + Clone + Send + Sync,
     {
-        self.validate(program);
+        let _sort_span = self
+            .logger
+            .span(Tier::Parallel, Stage::Sort, SpanClass::None);
+        {
+            let _validate_span = self
+                .logger
+                .span(Tier::Parallel, Stage::Validate, SpanClass::None);
+            self.validate(program);
+        }
         assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
         let mut transit: Vec<[Option<K>; 2]> = vec![[None, None]; keys.len()];
         for (ri, round) in program.rounds.iter().enumerate() {
@@ -992,6 +1007,12 @@ impl BspMachine {
                 ops: round.len() as u64,
                 parallel: par,
             });
+            let _round_span = self.logger.span_if(
+                round.len() >= ROUND_OBS_MIN_OPS,
+                Tier::Parallel,
+                Stage::Round,
+                SpanClass::None,
+            );
             if !par {
                 exec_round_serial(keys, &mut transit, round);
             } else {
@@ -1028,7 +1049,15 @@ impl BspMachine {
     where
         K: Ord + Clone + Send + Sync,
     {
-        self.validate(program);
+        let _batch_span = self
+            .logger
+            .span(Tier::Parallel, Stage::Batch, SpanClass::None);
+        {
+            let _validate_span = self
+                .logger
+                .span(Tier::Parallel, Stage::Validate, SpanClass::None);
+            self.validate(program);
+        }
         for keys in batch.iter() {
             assert_eq!(keys.len() as u64, self.shape.len(), "one key per node");
         }
@@ -1924,9 +1953,10 @@ mod tests {
         let mut keys: Vec<u64> = (0..16).rev().collect();
         machine.run(&mut keys, &program);
         let events = drain(&machine, &reader);
-        assert_eq!(events.len(), 2 * program.rounds());
         let mut open: Option<u64> = None;
         let mut next_round = 0u64;
+        let mut span_opens = 0u64;
+        let mut span_closes = 0u64;
         for ev in &events {
             match ev.event {
                 Event::RoundStart { round, .. } => {
@@ -1938,11 +1968,42 @@ mod tests {
                     assert_eq!(open.take(), Some(round), "RoundEnd {round} without start");
                     next_round += 1;
                 }
+                Event::SpanEnter { .. } => span_opens += 1,
+                Event::SpanExit { .. } => span_closes += 1,
                 other => panic!("serial run emitted unexpected {other:?}"),
             }
         }
         assert!(open.is_none(), "every RoundStart needs a matching RoundEnd");
         assert_eq!(next_round as usize, program.rounds());
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.event, Event::RoundStart { .. } | Event::RoundEnd { .. }))
+                .count(),
+            2 * program.rounds()
+        );
+        // The run itself is wrapped in one serial sort span (the star²
+        // rounds are below ROUND_OBS_MIN_OPS, so no round spans), and
+        // every opened span closed.
+        assert_eq!(span_opens, span_closes);
+        assert!(span_opens >= 1, "expected at least the sort span");
+        let sort_enter = events
+            .iter()
+            .find_map(|e| match e.event {
+                Event::SpanEnter {
+                    span, tier, stage, ..
+                } => Some((span, tier, stage)),
+                _ => None,
+            })
+            .expect("sort span enter");
+        assert_eq!(sort_enter.1, pns_obs::Tier::Serial.code());
+        assert_eq!(sort_enter.2, pns_obs::Stage::Sort.code());
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.event, Event::SpanExit { span, .. } if span == sort_enter.0)),
+            "sort span must close"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::kernel::KernelProgram;
 use crate::sorters::Pg2Sorter;
 use crate::vertical::{VerticalProgram, WORD_LANES};
 use pns_graph::Graph;
-use pns_obs::{Event, EventLogger};
+use pns_obs::{Event, EventLogger, SpanClass, Stage, Tier};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -123,6 +123,19 @@ impl CacheStats {
                 self.hits as f64 / total as f64
             }
         }
+    }
+
+    /// Publish this snapshot into a metrics [`Registry`] under the
+    /// `pns_` namespace, labeled by which cache tier it came from
+    /// (`program`, `kernel`, or `vertical`).
+    ///
+    /// [`Registry`]: pns_obs::Registry
+    pub fn export_to(&self, registry: &mut pns_obs::Registry, tier: &str) {
+        let labels = &[("cache", tier)][..];
+        registry.set_counter_with("pns_program_cache_hits_total", labels, self.hits);
+        registry.set_counter_with("pns_program_cache_misses_total", labels, self.misses);
+        registry.set_counter_with("pns_program_cache_entries", labels, self.entries as u64);
+        registry.set_gauge_with("pns_program_cache_hit_ratio", labels, self.hit_ratio());
     }
 }
 
@@ -285,7 +298,11 @@ impl ProgramCache {
             self.vertical_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        let lower_span = self
+            .logger
+            .span(Tier::Cache, Stage::LowerVertical, SpanClass::None);
         let vertical = Arc::new(VerticalProgram::lower(Arc::clone(kernel)));
+        drop(lower_span);
         self.vertical_misses.fetch_add(1, Ordering::Relaxed);
         self.logger.log(|| Event::VerticalLowered {
             rounds: vertical.rounds() as u64,
@@ -314,7 +331,11 @@ impl ProgramCache {
         // Lower outside the lock, like `lookup` compiles outside it.
         // Cached programs come from `compile`, whose output satisfies
         // the machine-model invariants lowering assumes.
+        let lower_span = self
+            .logger
+            .span(Tier::Cache, Stage::LowerKernel, SpanClass::None);
         let kernel = Arc::new(KernelProgram::lower(program));
+        drop(lower_span);
         self.kernel_misses.fetch_add(1, Ordering::Relaxed);
         self.logger.log(|| Event::KernelLowered {
             rounds: kernel.rounds() as u64,
@@ -350,7 +371,11 @@ impl ProgramCache {
         }
         // Compile outside the lock; a concurrent compile of the same key
         // wastes work but stays correct (last insert wins, same program).
+        let compile_span = self
+            .logger
+            .span(Tier::Cache, Stage::Compile, SpanClass::None);
         let program = Arc::new(build());
+        drop(compile_span);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.logger.log(|| Event::CacheLookup {
             hit: false,
@@ -564,8 +589,13 @@ mod tests {
         cache.logger.flush();
         let events: Vec<_> = reader.events().iter().map(|e| e.event).collect();
         let fp = fingerprint(&factor, 2, &ShearSorter);
+        let lookups: Vec<_> = events
+            .iter()
+            .copied()
+            .filter(|e| matches!(e, pns_obs::Event::CacheLookup { .. }))
+            .collect();
         assert_eq!(
-            events,
+            lookups,
             vec![
                 pns_obs::Event::CacheLookup {
                     hit: false,
@@ -577,6 +607,24 @@ mod tests {
                 },
             ]
         );
+        // The miss compiled under a Cache/Compile span; the hit did not.
+        let opens: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                pns_obs::Event::SpanEnter { tier, stage, .. } => Some((*tier, *stage)),
+                _ => None,
+            })
+            .collect();
+        let closes = events
+            .iter()
+            .filter(|e| matches!(e, pns_obs::Event::SpanExit { .. }))
+            .count();
+        assert_eq!(
+            opens,
+            vec![(Tier::Cache.code(), Stage::Compile.code())],
+            "exactly one compile span, on the miss"
+        );
+        assert_eq!(closes, 1);
     }
 
     #[test]

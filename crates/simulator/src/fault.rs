@@ -46,7 +46,7 @@ use std::collections::HashSet;
 
 use pns_fault::detect::sampled_subgraph_certificate;
 use pns_fault::{FaultKind, FaultPlan, FaultSite, OpClass, RetryPolicy};
-use pns_obs::Event;
+use pns_obs::{Event, SpanClass, Stage, Tier};
 use pns_order::radix::Shape;
 
 use crate::bsp::{
@@ -604,6 +604,7 @@ impl BspMachine {
                 got: keys.len(),
             });
         }
+        let _sort_span = self.logger.span(Tier::Fault, Stage::Sort, SpanClass::None);
         let (report, failed) = exec_with_faults(self.shape(), keys, program, plan, policy);
         self.emit_fault_events(&report, None);
         match failed {
@@ -652,6 +653,7 @@ impl BspMachine {
                 got: keys.len(),
             });
         }
+        let _sort_span = self.logger.span(Tier::Fault, Stage::Sort, SpanClass::None);
         let (report, failed) =
             exec_kernel_with_faults(self.shape(), keys, kernel, plan, policy, scratch);
         self.emit_fault_events(&report, None);
@@ -687,6 +689,7 @@ impl BspMachine {
                 .map(|_| Err(FaultError::Invalid(e.clone())))
                 .collect();
         }
+        let _batch_span = self.logger.span(Tier::Fault, Stage::Batch, SpanClass::None);
         self.logger.log(|| Event::BatchScheduled {
             batch: batch.len() as u64,
             // A batch smaller than the worker pool occupies one lane per

@@ -40,7 +40,7 @@
 //! swaps commit serially — bit-identical to serial order because
 //! validated compare rounds touch each key at most once.
 
-use pns_obs::Event;
+use pns_obs::{Event, SpanClass, Stage, Tier, ROUND_OBS_MIN_OPS, SORT_OBS_MIN_OPS};
 use pns_order::radix::Shape;
 
 use crate::bsp::{BspMachine, CertPoint, CompiledProgram, Op, ProgramError};
@@ -62,6 +62,19 @@ pub enum RoundClass {
     /// At least one `Move`/`Resolve`: runs as packed micro-ops with a
     /// deferred incoming commit (transit reads see previous-round state).
     Route,
+}
+
+impl RoundClass {
+    /// The observability round class this lowered class maps to, for
+    /// round spans' `(tier, stage, class)` attribution.
+    #[must_use]
+    pub fn span_class(self) -> SpanClass {
+        match self {
+            RoundClass::Empty => SpanClass::Empty,
+            RoundClass::Compare => SpanClass::Compare,
+            RoundClass::Route => SpanClass::Route,
+        }
+    }
 }
 
 /// One lowered round: a class tag plus a `start..end` range into
@@ -318,6 +331,13 @@ impl KernelProgram {
         self.micro.len()
     }
 
+    /// Total lowered operations across all rounds — the program-size
+    /// measure [`SORT_OBS_MIN_OPS`] gates sort-grain spans on.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.cx_pairs.len() + self.micro.len()
+    }
+
     /// Stage certificates, carried over from the source program (round
     /// indices transfer unchanged — lowering is 1:1 per round).
     #[must_use]
@@ -565,7 +585,15 @@ impl BspMachine {
     /// The first machine-model violation, as from
     /// [`BspMachine::try_validate`].
     pub fn lower(&self, program: &CompiledProgram) -> Result<KernelProgram, ProgramError> {
-        self.try_validate(program)?;
+        let _lower_span = self
+            .logger
+            .span(Tier::Kernel, Stage::LowerKernel, SpanClass::None);
+        {
+            let _validate_span = self
+                .logger
+                .span(Tier::Kernel, Stage::Validate, SpanClass::None);
+            self.try_validate(program)?;
+        }
         Ok(KernelProgram::lower(program))
     }
 
@@ -592,15 +620,37 @@ impl BspMachine {
             "kernel lowered for another shape"
         );
         assert_eq!(keys.len() as u64, self.shape().len(), "one key per node");
+        // Sort-grain span only for programs big enough that its fixed
+        // cost disappears into the run (DESIGN.md §13).
+        let _sort_span = self.logger.span_if(
+            kernel.total_ops() >= SORT_OBS_MIN_OPS,
+            Tier::Kernel,
+            Stage::Sort,
+            SpanClass::None,
+        );
         scratch.reset(keys.len());
-        for ri in 0..kernel.rounds.len() {
-            self.logger.log(|| Event::RoundStart {
-                round: ri as u64,
-                ops: kernel.round_len(ri) as u64,
-                parallel: false,
-            });
+        for (ri, desc) in kernel.rounds.iter().enumerate() {
+            // Round-grain observability only above the op threshold:
+            // sub-µs kernel rounds would otherwise pay more for the
+            // clock reads than for the round itself (DESIGN.md §13).
+            let observed = kernel.round_len(ri) >= ROUND_OBS_MIN_OPS;
+            if observed {
+                self.logger.log(|| Event::RoundStart {
+                    round: ri as u64,
+                    ops: kernel.round_len(ri) as u64,
+                    parallel: false,
+                });
+            }
+            let _round_span = self.logger.span_if(
+                observed,
+                Tier::Kernel,
+                Stage::Round,
+                desc.class.span_class(),
+            );
             exec_kernel_round(keys, kernel, ri, scratch);
-            self.logger.log(|| Event::RoundEnd { round: ri as u64 });
+            if observed {
+                self.logger.log(|| Event::RoundEnd { round: ri as u64 });
+            }
         }
         debug_assert!(
             scratch
@@ -659,23 +709,40 @@ impl BspMachine {
             "kernel lowered for another shape"
         );
         assert_eq!(keys.len() as u64, self.shape().len(), "one key per node");
+        let _sort_span = self.logger.span_if(
+            kernel.total_ops() >= SORT_OBS_MIN_OPS,
+            Tier::Kernel,
+            Stage::Sort,
+            SpanClass::None,
+        );
         let threads = rayon::current_num_threads();
         scratch.reset(keys.len());
         for (ri, desc) in kernel.rounds.iter().enumerate() {
             let par = desc.class == RoundClass::Compare
                 && (desc.end - desc.start) as usize >= threshold.max(1)
                 && threads > 1;
-            self.logger.log(|| Event::RoundStart {
-                round: ri as u64,
-                ops: kernel.round_len(ri) as u64,
-                parallel: par,
-            });
+            let observed = kernel.round_len(ri) >= ROUND_OBS_MIN_OPS;
+            if observed {
+                self.logger.log(|| Event::RoundStart {
+                    round: ri as u64,
+                    ops: kernel.round_len(ri) as u64,
+                    parallel: par,
+                });
+            }
+            let _round_span = self.logger.span_if(
+                observed,
+                Tier::Kernel,
+                Stage::Round,
+                desc.class.span_class(),
+            );
             if par {
                 exec_compare_round_chunked(keys, kernel, *desc, &mut scratch.swap_words, threads);
             } else {
                 exec_kernel_round(keys, kernel, ri, scratch);
             }
-            self.logger.log(|| Event::RoundEnd { round: ri as u64 });
+            if observed {
+                self.logger.log(|| Event::RoundEnd { round: ri as u64 });
+            }
         }
         kernel.rounds.len() as u64
     }
@@ -709,6 +776,9 @@ impl BspMachine {
         for keys in batch.iter() {
             assert_eq!(keys.len() as u64, self.shape().len(), "one key per node");
         }
+        let _batch_span = self
+            .logger
+            .span(Tier::Kernel, Stage::Batch, SpanClass::None);
         self.logger.log(|| Event::BatchScheduled {
             batch: batch.len() as u64,
             lanes: batch.len().min(rayon::current_num_threads()) as u64,
@@ -927,15 +997,55 @@ mod tests {
     }
 
     #[test]
-    fn kernel_runs_emit_paired_round_events() {
+    fn kernel_round_events_are_gated_by_op_count() {
+        // Small fixture: path(3)^2 sits below BOTH observability gates
+        // — every round is under ROUND_OBS_MIN_OPS and the whole
+        // program is under SORT_OBS_MIN_OPS — so a kernel run emits
+        // nothing at all. That silence is the point: the enabled-sink
+        // tax on micro-programs is a branch, not a span.
         let factor = factories::path(3);
         let program = compile(&factor, 2, &ShearSorter);
         let mut bsp = BspMachine::new(&factor, 2);
         let kernel = bsp.lower(&program).expect("valid");
+        assert!(
+            (0..kernel.rounds()).all(|ri| kernel.round_len(ri) < ROUND_OBS_MIN_OPS),
+            "fixture must sit below the round observability threshold"
+        );
+        assert!(
+            kernel.total_ops() < SORT_OBS_MIN_OPS,
+            "fixture must sit below the sort-span threshold"
+        );
         let (sink, reader) = pns_obs::MemorySink::with_capacity(1 << 12);
         bsp.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
         let mut scratch = ExecScratch::new();
         let mut keys = lcg_keys(bsp.shape().len(), 3);
+        bsp.run_kernel(&mut keys, &kernel, &mut scratch);
+        bsp.logger.flush();
+        let events: Vec<Event> = reader.events().into_iter().map(|t| t.event).collect();
+        assert!(
+            events.is_empty(),
+            "sub-threshold programs must emit no events: {events:?}"
+        );
+
+        // Large fixture: k2 r=8 clears the sort-span gate and has
+        // rounds at or above the round threshold, which must emit the
+        // sort span, paired round events, AND classed round spans.
+        let factor = factories::k2();
+        let program = compile(&factor, 8, &Hypercube2Sorter);
+        let mut bsp = BspMachine::new(&factor, 8);
+        let kernel = bsp.lower(&program).expect("valid");
+        assert!(
+            kernel.total_ops() >= SORT_OBS_MIN_OPS,
+            "fixture must clear the sort-span threshold"
+        );
+        let observed: usize = (0..kernel.rounds())
+            .filter(|&ri| kernel.round_len(ri) >= ROUND_OBS_MIN_OPS)
+            .count();
+        assert!(observed > 0, "fixture must cross the threshold");
+        let (sink, reader) = pns_obs::MemorySink::with_capacity(1 << 16);
+        bsp.attach_logger(pns_obs::EventLogger::new(Box::new(sink)));
+        let mut scratch = ExecScratch::new();
+        let mut keys = lcg_keys(bsp.shape().len(), 5);
         bsp.run_kernel(&mut keys, &kernel, &mut scratch);
         bsp.logger.flush();
         let events: Vec<Event> = reader.events().into_iter().map(|t| t.event).collect();
@@ -947,15 +1057,27 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, Event::RoundEnd { .. }))
             .count();
-        assert_eq!(starts, program.rounds());
-        assert_eq!(ends, program.rounds());
-        let ops: u64 = events
+        assert_eq!(starts, observed);
+        assert_eq!(ends, observed);
+        let round_spans = events
             .iter()
-            .filter_map(|e| match e {
-                Event::RoundStart { ops, .. } => Some(*ops),
-                _ => None,
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::SpanEnter { stage, .. } if *stage == Stage::Round.code()
+                )
             })
-            .sum();
-        assert_eq!(ops as usize, program.op_count());
+            .count();
+        assert_eq!(round_spans, observed);
+        // Every round span carries a lowered class, never None.
+        assert!(events.iter().all(|e| match e {
+            Event::SpanEnter { stage, class, .. } if *stage == Stage::Round.code() =>
+                *class != SpanClass::None.code(),
+            _ => true,
+        }));
+        let profile = pns_obs::Profile::from_events(&reader.events().to_vec());
+        assert_eq!(profile.open_spans(), 0);
+        // Self times partition the sort span's duration exactly.
+        assert_eq!(profile.total_self_ns(), profile.root_ns());
     }
 }

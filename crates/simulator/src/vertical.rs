@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use pns_fault::detect::sampled_subgraph_certificate;
 use pns_fault::{FaultKind, FaultPlan, FaultSite, OpClass, RetryPolicy};
-use pns_obs::Event;
+use pns_obs::{Event, SpanClass, Stage, Tier, ROUND_OBS_MIN_OPS, SORT_OBS_MIN_OPS};
 use pns_order::radix::Shape;
 
 use crate::bsp::BspMachine;
@@ -517,7 +517,11 @@ impl BspMachine {
         &self,
         program: &crate::bsp::CompiledProgram,
     ) -> Result<VerticalProgram, crate::bsp::ProgramError> {
-        Ok(VerticalProgram::lower(Arc::new(self.lower(program)?)))
+        let kernel = Arc::new(self.lower(program)?);
+        let _lower_span = self
+            .logger
+            .span(Tier::Vertical, Stage::LowerVertical, SpanClass::None);
+        Ok(VerticalProgram::lower(kernel))
     }
 
     /// Execute a vertical program on up to 64 packed 0/1 vectors at
@@ -547,15 +551,39 @@ impl BspMachine {
             "vertical program lowered for another shape"
         );
         assert_eq!(words.len() as u64, self.shape().len(), "one word per node");
+        // Sort-grain span only above the program-size gate, same as the
+        // scalar kernel (DESIGN.md §13): a bit-sliced pass over a small
+        // program finishes in microseconds, and batch callers get their
+        // amortized span from `run_vertical_batch` regardless.
+        let _sort_span = self.logger.span_if(
+            vertical.word_ops() >= SORT_OBS_MIN_OPS,
+            Tier::Vertical,
+            Stage::Sort,
+            SpanClass::None,
+        );
         scratch.reset(words.len());
         for ri in 0..kernel.rounds() {
-            self.logger.log(|| Event::RoundStart {
-                round: ri as u64,
-                ops: kernel.round_len(ri) as u64,
-                parallel: false,
-            });
+            // Same round-grain gating as the kernel tier (DESIGN.md §13):
+            // word-wide rounds run in nanoseconds, so only rounds with
+            // enough ops get their own events and span.
+            let observed = kernel.round_len(ri) >= ROUND_OBS_MIN_OPS;
+            if observed {
+                self.logger.log(|| Event::RoundStart {
+                    round: ri as u64,
+                    ops: kernel.round_len(ri) as u64,
+                    parallel: false,
+                });
+            }
+            let _round_span = self.logger.span_if(
+                observed,
+                Tier::Vertical,
+                Stage::Round,
+                kernel.rounds[ri].class.span_class(),
+            );
             exec_bits_round(words, kernel, ri, scratch);
-            self.logger.log(|| Event::RoundEnd { round: ri as u64 });
+            if observed {
+                self.logger.log(|| Event::RoundEnd { round: ri as u64 });
+            }
         }
         kernel.rounds() as u64
     }
@@ -591,6 +619,9 @@ impl BspMachine {
         for keys in batch.iter() {
             assert_eq!(keys.len() as u64, self.shape().len(), "one key per node");
         }
+        let _batch_span = self
+            .logger
+            .span(Tier::Vertical, Stage::Batch, SpanClass::None);
         self.logger.log(|| Event::BatchScheduled {
             batch: batch.len() as u64,
             lanes: batch.len().min(rayon::current_num_threads()) as u64,
@@ -853,6 +884,7 @@ impl BspMachine {
             self.shape(),
             "vertical program lowered for another shape"
         );
+        let _batch_span = self.logger.span(Tier::Fault, Stage::Batch, SpanClass::None);
         self.logger.log(|| Event::BatchScheduled {
             batch: batch.len() as u64,
             lanes: batch.len().min(rayon::current_num_threads()) as u64,
