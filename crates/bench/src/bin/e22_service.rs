@@ -1,0 +1,15 @@
+//! Experiment binary: runs the e22_service scenario matrix at
+//! benchmark scale, prints the report, and writes the measured rows to
+//! `BENCH_e22_service.json` (nightly CI uploads the artifact and diffs
+//! it against `BENCH_baseline/` with `bench_compare`, so steady-state
+//! p50/p99 service latency is tracked over time).
+
+fn main() {
+    let rows = pns_bench::experiments::e22_service::collect();
+    let report = pns_bench::experiments::e22_service::report_from_rows(&rows);
+    println!("{}", report.to_markdown());
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write("BENCH_e22_service.json", json).expect("write BENCH_e22_service.json");
+    eprintln!("wrote BENCH_e22_service.json ({} scenarios)", rows.len());
+    assert!(report.all_match, "experiment reported a mismatch");
+}

@@ -1,0 +1,96 @@
+//! Loadtest harness for the sorting service: drives the e22 scenario
+//! matrix (steady-state, burst-overload, fault-injected) at
+//! request-count scale across submitter threads, asserts zero panics
+//! and 100% accounting, and appends one JSON line per scenario to
+//! `loadtest.jsonl` for the nightly artifact upload.
+//!
+//! ```text
+//! loadtest [--smoke] [--scale N]
+//! ```
+//!
+//! `--smoke` runs a seconds-bounded pass for tier-1 CI (steady row of
+//! 20k requests); the default nightly scale is 2,000,000 steady-row
+//! requests (≈3.1M total across the matrix). `--scale N` overrides the
+//! steady-row request count directly.
+
+use pns_bench::experiments::e22_service::{drive, scenarios, OBS_TAX_BUDGET_PCT};
+
+const NIGHTLY_SCALE: u64 = 2_000_000;
+const SMOKE_SCALE: u64 = 20_000;
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--scale takes a request count"))
+        .unwrap_or(if smoke { SMOKE_SCALE } else { NIGHTLY_SCALE });
+
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for scenario in scenarios(scale) {
+        let outcome = drive(&scenario);
+        let accounted = outcome.fully_accounted();
+        println!(
+            "{:>16}: {} submitted | {} sorted ({} degraded) | {} timeout | {} rejected | \
+             {} failed | p50 {:.3}ms p99 {:.3}ms | {:.1} kreq/s | accounted: {}",
+            scenario.name,
+            outcome.submitted,
+            outcome.completed,
+            outcome.degraded,
+            outcome.timeouts,
+            outcome.rejected,
+            outcome.failed,
+            outcome.latency.quantile_ns(0.5) as f64 / 1e6,
+            outcome.latency.quantile_ns(0.99) as f64 / 1e6,
+            outcome.throughput_per_sec() / 1e3,
+            accounted,
+        );
+        if !accounted {
+            failures.push(format!("{}: requests unaccounted", scenario.name));
+        }
+        if outcome.failed > 0 {
+            failures.push(format!(
+                "{}: {} terminal failures",
+                scenario.name, outcome.failed
+            ));
+        }
+        if outcome.unsorted > 0 {
+            failures.push(format!(
+                "{}: {} unsorted responses",
+                scenario.name, outcome.unsorted
+            ));
+        }
+        if scenario.name == "burst_overload" && outcome.rejected == 0 {
+            failures.push("burst_overload: no typed sheds observed".to_owned());
+        }
+        lines.push(format!(
+            r#"{{"scenario":"{}","submitted":{},"completed":{},"degraded":{},"timeouts":{},"rejected":{},"failed":{},"unsorted":{},"p50_ns":{},"p99_ns":{},"wall_ns":{},"throughput_per_sec":{:.1}}}"#,
+            scenario.name,
+            outcome.submitted,
+            outcome.completed,
+            outcome.degraded,
+            outcome.timeouts,
+            outcome.rejected,
+            outcome.failed,
+            outcome.unsorted,
+            outcome.latency.quantile_ns(0.5),
+            outcome.latency.quantile_ns(0.99),
+            outcome.wall_ns,
+            outcome.throughput_per_sec(),
+        ));
+    }
+    std::fs::write("loadtest.jsonl", lines.join("\n") + "\n").expect("write loadtest.jsonl");
+    eprintln!(
+        "wrote loadtest.jsonl ({} scenarios, obs budget {OBS_TAX_BUDGET_PCT}%)",
+        lines.len()
+    );
+    assert!(
+        failures.is_empty(),
+        "loadtest invariants violated:\n  {}",
+        failures.join("\n  ")
+    );
+}

@@ -35,6 +35,7 @@ pub mod experiments {
     pub mod e19_kernel_speedup;
     pub mod e20_vertical_speedup;
     pub mod e21_profile;
+    pub mod e22_service;
 }
 
 pub use report::Report;
@@ -68,6 +69,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e19_kernel_speedup", e19_kernel_speedup::run),
         ("e20_vertical_speedup", e20_vertical_speedup::run),
         ("e21_profile", e21_profile::run),
+        ("e22_service", e22_service::run),
         ("a01_labeling", a01_labeling::run),
         ("a02_pg2_sorter", a02_pg2_sorter::run),
         ("a03_sorting_network", a03_sorting_network::run),

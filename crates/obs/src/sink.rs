@@ -84,7 +84,12 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&mut self, events: &[TimedEvent]) {
-        let mut state = self.state.lock().expect("ring lock");
+        // Poison recovery: a panicked writer leaves the ring intact (it
+        // only pushes/pops), so recording must keep working.
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for &ev in events {
             if state.events.len() == state.capacity {
                 state.events.pop_front();
@@ -96,16 +101,13 @@ impl Sink for MemorySink {
 }
 
 impl MemoryReader {
-    /// Snapshot of the retained events, oldest first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ring lock is poisoned.
+    /// Snapshot of the retained events, oldest first. Recovers from a
+    /// poisoned ring lock (the ring's push/pop never leaves it torn).
     #[must_use]
     pub fn events(&self) -> Vec<TimedEvent> {
         self.state
             .lock()
-            .expect("ring lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .events
             .iter()
             .copied()
@@ -113,13 +115,13 @@ impl MemoryReader {
     }
 
     /// Number of retained events.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ring lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("ring lock").events.len()
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .events
+            .len()
     }
 
     /// `true` iff no event is retained.
@@ -129,13 +131,12 @@ impl MemoryReader {
     }
 
     /// Events evicted because the ring was full.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ring lock is poisoned.
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.state.lock().expect("ring lock").dropped
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .dropped
     }
 }
 

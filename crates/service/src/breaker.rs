@@ -1,0 +1,293 @@
+//! Circuit breaker over the executor's failure/quarantine rate.
+//!
+//! Classic closed → open → half-open automaton, fully deterministic:
+//! every transition is a pure function of the recorded lane outcomes
+//! and the explicit `now_ns` timestamps, so tests assert the exact
+//! transition sequence with a [`ManualClock`](crate::ManualClock).
+//!
+//! * **Closed** — outcomes feed a sliding window of the last
+//!   [`BreakerConfig::window`] lanes; once at least
+//!   [`BreakerConfig::min_samples`] are in view and the failure share
+//!   reaches [`BreakerConfig::trip_pct`], the breaker opens.
+//! * **Open** — every admission is refused until
+//!   [`BreakerConfig::cooldown_ns`] elapses, then the next admission
+//!   check rolls into half-open.
+//! * **Half-open** — up to [`BreakerConfig::probe_quota`] probe
+//!   requests are admitted; one failure reopens (fresh cooldown),
+//!   `probe_quota` successes close and reset the window.
+
+/// Tuning for the [`Breaker`] automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding-window length in lane outcomes.
+    pub window: usize,
+    /// Minimum outcomes in view before the trip rule applies (so one
+    /// early failure cannot open the breaker on a 100% rate).
+    pub min_samples: usize,
+    /// Failure percentage (0–100) that trips the breaker. `0` disables
+    /// the breaker: it never leaves closed.
+    pub trip_pct: u32,
+    /// How long the breaker stays open before probing, in nanoseconds.
+    pub cooldown_ns: u64,
+    /// Probe admissions allowed in half-open before a verdict.
+    pub probe_quota: u32,
+}
+
+impl Default for BreakerConfig {
+    /// 64-outcome window, ≥16 samples, trip at 50% failures, 100ms
+    /// cooldown, 4 probes.
+    fn default() -> Self {
+        BreakerConfig {
+            window: 64,
+            min_samples: 16,
+            trip_pct: 50,
+            cooldown_ns: 100_000_000,
+            probe_quota: 4,
+        }
+    }
+}
+
+/// Which phase the automaton is in (exported as a gauge: 0/1/2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; outcomes feed the sliding window.
+    Closed,
+    /// Refusing admissions until the cooldown deadline.
+    Open {
+        /// Absolute time the cooldown ends.
+        until_ns: u64,
+    },
+    /// Probing: a bounded number of requests test the waters.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric code for metrics: closed 0, open 1, half-open 2.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open { .. } => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// The deterministic breaker automaton.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Sliding outcome window: `true` = failure. Ring-buffered.
+    outcomes: Vec<bool>,
+    next_slot: usize,
+    filled: usize,
+    failures: usize,
+    /// Half-open bookkeeping.
+    probes_issued: u32,
+    probe_successes: u32,
+    /// Lifetime transition counter (for tests/metrics).
+    opens: u64,
+}
+
+impl Breaker {
+    /// A closed breaker with an empty window.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            state: BreakerState::Closed,
+            outcomes: vec![false; config.window.max(1)],
+            next_slot: 0,
+            filled: 0,
+            failures: 0,
+            probes_issued: 0,
+            probe_successes: 0,
+            opens: 0,
+        }
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened over its lifetime.
+    #[must_use]
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// May a request be admitted at `now_ns`? Rolls open → half-open
+    /// when the cooldown has elapsed, and spends a probe slot while
+    /// half-open — call exactly once per admission decision.
+    pub fn admit(&mut self, now_ns: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open { until_ns } => {
+                if now_ns < until_ns {
+                    return false;
+                }
+                self.state = BreakerState::HalfOpen;
+                self.probes_issued = 1;
+                self.probe_successes = 0;
+                true
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_issued < self.config.probe_quota {
+                    self.probes_issued += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record one lane outcome at `now_ns` (`failed = true` for a
+    /// quarantined, errored, or panicking lane).
+    pub fn record(&mut self, failed: bool, now_ns: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                if self.filled == self.outcomes.len() {
+                    if self.outcomes[self.next_slot] {
+                        self.failures -= 1;
+                    }
+                } else {
+                    self.filled += 1;
+                }
+                self.outcomes[self.next_slot] = failed;
+                if failed {
+                    self.failures += 1;
+                }
+                self.next_slot = (self.next_slot + 1) % self.outcomes.len();
+                if self.config.trip_pct > 0
+                    && self.filled >= self.config.min_samples.max(1)
+                    && self.failures * 100 >= self.config.trip_pct as usize * self.filled
+                {
+                    self.trip(now_ns);
+                }
+            }
+            BreakerState::HalfOpen => {
+                if failed {
+                    self.trip(now_ns);
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.config.probe_quota {
+                        self.state = BreakerState::Closed;
+                        self.reset_window();
+                    }
+                }
+            }
+            // Outcomes completing while open belong to batches admitted
+            // earlier; they carry no new signal for the cooldown.
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    fn trip(&mut self, now_ns: u64) {
+        self.state = BreakerState::Open {
+            until_ns: now_ns.saturating_add(self.config.cooldown_ns),
+        };
+        self.opens += 1;
+        self.reset_window();
+    }
+
+    fn reset_window(&mut self) {
+        self.outcomes.fill(false);
+        self.next_slot = 0;
+        self.filled = 0;
+        self.failures = 0;
+        self.probes_issued = 0;
+        self.probe_successes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_pct: 50,
+            cooldown_ns: 1_000,
+            probe_quota: 2,
+        }
+    }
+
+    #[test]
+    fn closed_until_failure_rate_trips() {
+        let mut b = Breaker::new(cfg());
+        assert!(b.admit(0));
+        // Three failures among four samples: 75% ≥ 50%, but only at the
+        // fourth sample (min_samples).
+        b.record(true, 0);
+        b.record(true, 0);
+        assert_eq!(b.state(), BreakerState::Closed, "below min_samples");
+        b.record(false, 0);
+        b.record(true, 0);
+        assert_eq!(b.state(), BreakerState::Open { until_ns: 1_000 });
+        assert_eq!(b.opens(), 1);
+        assert!(!b.admit(500), "cooldown holds");
+    }
+
+    #[test]
+    fn open_rolls_to_half_open_then_closes_on_probe_successes() {
+        let mut b = Breaker::new(cfg());
+        for _ in 0..4 {
+            b.record(true, 100);
+        }
+        assert_eq!(b.state(), BreakerState::Open { until_ns: 1_100 });
+        assert!(!b.admit(1_099));
+        assert!(b.admit(1_100), "cooldown elapsed: first probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit(1_100), "second probe within quota");
+        assert!(!b.admit(1_100), "probe quota spent");
+        b.record(false, 1_200);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(false, 1_200);
+        assert_eq!(b.state(), BreakerState::Closed, "quota successes close");
+    }
+
+    #[test]
+    fn half_open_failure_reopens_with_fresh_cooldown() {
+        let mut b = Breaker::new(cfg());
+        for _ in 0..4 {
+            b.record(true, 0);
+        }
+        assert!(b.admit(2_000));
+        b.record(true, 2_500);
+        assert_eq!(b.state(), BreakerState::Open { until_ns: 3_500 });
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_pct: 0,
+            ..cfg()
+        });
+        for _ in 0..100 {
+            b.record(true, 0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(0));
+    }
+
+    #[test]
+    fn window_slides_old_failures_out() {
+        let mut b = Breaker::new(cfg());
+        b.record(true, 0);
+        // Eight successes slide the failure out of the 8-slot window.
+        for _ in 0..8 {
+            b.record(false, 0);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        // A fresh failure is 1 of the last 8 (12.5% < 50%): closed.
+        b.record(true, 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,139 @@
+//! Typed service outcomes: every request ends in a sorted response or
+//! in exactly one of these errors — never a panic, never silence.
+
+use pns_simulator::FaultError;
+use std::fmt;
+
+/// Why an admission decision turned a request away. Each variant maps
+/// to one rung of the admission pipeline, in the order the checks run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request's key vector does not match the registered shape.
+    InvalidRequest {
+        /// Keys the shape requires (one per node).
+        expected: u64,
+        /// Keys actually supplied.
+        got: usize,
+    },
+    /// The request named a shape the service has not registered.
+    UnknownShape {
+        /// The offending shape id.
+        shape: usize,
+    },
+    /// The circuit breaker is open: the executor's recent
+    /// failure/quarantine rate tripped it and the cooldown has not
+    /// elapsed (or a half-open probe quota is exhausted).
+    BreakerOpen,
+    /// The tenant's token bucket is empty — it exceeded its configured
+    /// sustained rate plus burst.
+    RateLimited {
+        /// The throttled tenant.
+        tenant: u32,
+    },
+    /// Global load shedding: total queue depth crossed the shed
+    /// watermark, so new work is turned away before the hard cap.
+    LoadShed {
+        /// Queue depth at the moment of the decision.
+        depth: usize,
+    },
+    /// The bounded intake queue is at its hard capacity.
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    Shutdown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::InvalidRequest { expected, got } => {
+                write!(f, "expected {expected} keys (one per node), got {got}")
+            }
+            RejectReason::UnknownShape { shape } => write!(f, "unknown shape id {shape}"),
+            RejectReason::BreakerOpen => write!(f, "circuit breaker open"),
+            RejectReason::RateLimited { tenant } => write!(f, "tenant {tenant} rate limited"),
+            RejectReason::LoadShed { depth } => {
+                write!(f, "load shedding at queue depth {depth}")
+            }
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "intake queue full (capacity {capacity})")
+            }
+            RejectReason::Shutdown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+/// The typed terminal states of an unsuccessful request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Turned away at admission; the request never entered the queue.
+    Rejected(RejectReason),
+    /// Admitted, but its deadline passed before a batch picked it up.
+    Timeout {
+        /// How long it waited before expiring, in nanoseconds.
+        waited_ns: u64,
+    },
+    /// The executor surfaced a fault-tolerance error the degradation
+    /// ladder could not absorb.
+    Fault(FaultError),
+    /// A service invariant broke (e.g. an executor panicked and was
+    /// contained by the `catch_unwind` boundary). Typed, not a panic.
+    Internal(&'static str),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Rejected(reason) => write!(f, "rejected: {reason}"),
+            ServiceError::Timeout { waited_ns } => {
+                write!(f, "timed out after {waited_ns} ns in queue")
+            }
+            ServiceError::Fault(e) => write!(f, "fault tolerance exhausted: {e}"),
+            ServiceError::Internal(what) => write!(f, "internal service error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RejectReason> for ServiceError {
+    fn from(reason: RejectReason) -> Self {
+        ServiceError::Rejected(reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServiceError::Rejected(RejectReason::QueueFull { capacity: 8 });
+        assert!(e.to_string().contains("capacity 8"));
+        let t = ServiceError::Timeout { waited_ns: 42 };
+        assert!(t.to_string().contains("42"));
+        assert!(ServiceError::Internal("boom").to_string().contains("boom"));
+        for r in [
+            RejectReason::BreakerOpen,
+            RejectReason::RateLimited { tenant: 3 },
+            RejectReason::LoadShed { depth: 9 },
+            RejectReason::Shutdown,
+            RejectReason::UnknownShape { shape: 1 },
+            RejectReason::InvalidRequest {
+                expected: 9,
+                got: 2,
+            },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

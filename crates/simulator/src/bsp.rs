@@ -1423,20 +1423,28 @@ fn lower_pair_round(
     let mut relayed: Vec<(Vec<u64>, bool)> = Vec::new(); // (path a..b, min_to_a)
     for &(a, b, min_to_a) in pairs {
         // Pairs differ in exactly one dimension; the path stays inside
-        // that factor copy.
-        let dim = (0..shape.r())
-            .find(|&i| shape.digit(a, i) != shape.digit(b, i))
-            .expect("pair endpoints must differ");
+        // that factor copy. A degenerate `(a, a)` pair (a sorter bug)
+        // is a semantic no-op — comparing a key with itself never
+        // swaps — so it lowers to nothing rather than panicking.
+        let Some(dim) = (0..shape.r()).find(|&i| shape.digit(a, i) != shape.digit(b, i)) else {
+            continue;
+        };
         let (da, db) = (shape.digit(a, dim) as u32, shape.digit(b, dim) as u32);
         if factor.has_edge(da, db) {
             adjacent.push(Op::CompareExchange { a, b, min_to_a });
-        } else {
-            let fpath = pns_graph::shortest_path(factor, da, db).expect("factor is connected");
+        } else if let Some(fpath) = pns_graph::shortest_path(factor, da, db) {
             let path: Vec<u64> = fpath
                 .iter()
                 .map(|&f| shape.with_digit(a, dim, f as usize))
                 .collect();
             relayed.push((path, min_to_a));
+        } else {
+            // Unreachable for the connected factors every machine
+            // constructor validates; on a disconnected factor the pair
+            // cannot be routed at all — drop it (the program's final
+            // certificate will expose the unsorted result) instead of
+            // panicking mid-compile.
+            continue;
         }
     }
     if !adjacent.is_empty() {
@@ -1494,7 +1502,9 @@ fn emit_wave(wave: &[(Vec<u64>, bool)], rounds: &mut Vec<BspRound>) {
     // Resolve round: both endpoints decide locally.
     let mut resolve: BspRound = Vec::new();
     for (path, min_to_a) in wave {
-        let (a, b) = (path[0], *path.last().expect("non-empty path"));
+        let (Some(&a), Some(&b)) = (path.first(), path.last()) else {
+            continue; // an empty path has no endpoints to resolve
+        };
         resolve.push(Op::Resolve {
             node: a,
             slot: 1,

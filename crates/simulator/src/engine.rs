@@ -313,8 +313,12 @@ impl<K: Ord + Clone + Send + Sync> Engine<K> for ExecutedEngine {
                     differing = Some((d, order_pair(da as u32, db as u32)));
                 }
             }
-            let (d, pair) =
-                differing.expect("transposition pair must differ in exactly one dimension");
+            // A degenerate `(a, a)` pair (a sorter bug) is a semantic
+            // no-op — it costs nothing and swaps nothing — so it is
+            // skipped in the accounting rather than panicking.
+            let Some((d, pair)) = differing else {
+                continue;
+            };
             let copy = self.shape.with_digit(a, d, 0);
             per_copy.entry((d, copy)).or_default().push(pair);
         }

@@ -79,6 +79,10 @@ pub enum FaultError {
         /// Attempts executed (initial run plus retries).
         attempts: u32,
     },
+    /// An executor invariant broke (e.g. a batch lane produced no
+    /// outcome). Unreachable by construction; surfaced as a typed error
+    /// rather than a panic so callers stay up regardless.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for FaultError {
@@ -92,6 +96,7 @@ impl std::fmt::Display for FaultError {
                 f,
                 "certificate at round {round} still failing after {attempts} attempts"
             ),
+            FaultError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }
@@ -415,12 +420,15 @@ fn checkpoint_retry_loop<K: Ord + Clone>(
                 transit.iter().all(|t| t[0].is_none() && t[1].is_none()),
                 "transit must drain at certificate boundaries"
             );
-            let ok = match seg.check {
-                None => true,
+            // Checks produce the failing certificate directly (rather
+            // than a bool re-paired with `seg.check` afterwards), so the
+            // failure path cannot be reached without one — no panic path.
+            let failed_check = match seg.check {
+                None => None,
                 Some((boundary, dims, is_final)) => {
                     // The final certificate is always checked in full —
                     // an Ok return must imply a snake-sorted output.
-                    if !is_final && policy.recheck_depth > 0 {
+                    let ok = if !is_final && policy.recheck_depth > 0 {
                         sampled_subgraph_certificate(
                             shape,
                             keys,
@@ -430,14 +438,14 @@ fn checkpoint_retry_loop<K: Ord + Clone>(
                         )
                     } else {
                         subgraphs_snake_sorted(shape, keys, dims as usize)
-                    }
+                    };
+                    (!ok).then_some((boundary, dims, is_final))
                 }
             };
-            if ok {
+            let Some((boundary, dims, is_final)) = failed_check else {
                 report.counters.useful_rounds += seg_rounds;
                 break;
-            }
-            let (boundary, dims, is_final) = seg.check.expect("a failed check has a certificate");
+            };
             report.detections.push(Detection {
                 round: boundary,
                 dims,
@@ -445,12 +453,25 @@ fn checkpoint_retry_loop<K: Ord + Clone>(
             });
             report.counters.detections += 1;
             report.counters.wasted_rounds += seg_rounds;
-            if attempt >= policy.max_retries {
+            // Retrying requires the checkpoint taken at the segment
+            // boundary; it exists whenever max_retries > 0 and the
+            // segment is certified (= this branch). Degrade to
+            // retry-exhausted rather than panic if that ever breaks.
+            let retryable = checkpoint
+                .as_deref()
+                .filter(|_| attempt < policy.max_retries);
+            let Some(restore) = retryable else {
                 report.rounds = report.counters.total_rounds();
                 return (report, Some((boundary, attempt + 1)));
-            }
+            };
             attempt += 1;
-            keys.clone_from_slice(checkpoint.as_deref().expect("retries imply a checkpoint"));
+            // Capped-exponential backoff before the re-execution —
+            // zero (no syscall at all) unless the policy enables it.
+            let delay_ns = policy.backoff_ns(attempt);
+            if delay_ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(delay_ns));
+            }
+            keys.clone_from_slice(restore);
             report.retries.push(Retry {
                 round: seg.start as u64,
                 attempt,
@@ -711,9 +732,15 @@ impl BspMachine {
             let (mut report, failed) = exec_with_faults(shape, keys, program, &lane_plan, policy);
             if failed.is_some() {
                 // Quarantine: everything executed so far is discarded;
-                // re-run clean and serial from the original input.
-                keys.clear();
-                keys.extend(original.expect("a failed run had an enabled plan"));
+                // re-run clean and serial from the original input. Only
+                // an enabled plan can fail, so the original was kept;
+                // should that invariant ever break, the clean re-run
+                // still sorts whatever state the lane is in (the
+                // program is a sorting network) instead of panicking.
+                if let Some(original) = original {
+                    keys.clear();
+                    keys.extend(original);
+                }
                 exec_program(keys, program);
                 report.counters.wasted_rounds += report.counters.useful_rounds;
                 report.counters.useful_rounds = program.rounds() as u64;
@@ -743,7 +770,10 @@ impl BspMachine {
         }
         let results: Vec<Result<FaultReport, FaultError>> = slots
             .into_iter()
-            .map(|slot| slot.outcome.expect("every lane ran"))
+            .map(|slot| {
+                slot.outcome
+                    .unwrap_or(Err(FaultError::Internal("batch lane produced no outcome")))
+            })
             .collect();
         // The logger's buffers are thread-local, so lane events are
         // replayed here, after the join, from the calling thread.
@@ -894,6 +924,7 @@ mod tests {
         let policy = RetryPolicy {
             max_retries: 5,
             recheck_depth: 4,
+            ..RetryPolicy::default()
         };
         for seed in 0..20u64 {
             let plan = FaultPlan::random(seed, 3_000);

@@ -42,6 +42,10 @@ pub enum SortError {
         /// What was supplied.
         got: usize,
     },
+    /// A machine invariant broke (e.g. a batch lane lost its sorted
+    /// vector). Unreachable by construction; surfaced as a typed error
+    /// rather than a panic so callers stay up regardless.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SortError {
@@ -60,6 +64,7 @@ impl fmt::Display for SortError {
             SortError::WrongBlockedKeyCount { expected, got } => {
                 write!(f, "need b·N^r keys: expected {expected}, got {got}")
             }
+            SortError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }
@@ -441,10 +446,18 @@ impl Machine {
                 slots
                     .into_iter()
                     .map(|slot| {
-                        slot.map(|()| SortReport {
+                        slot.and_then(|()| {
+                            // One sorted vector exists per Ok slot by
+                            // construction; a typed error, not a panic,
+                            // if that ever breaks.
+                            sorted
+                                .next()
+                                .ok_or(SortError::Internal("batch lane lost its sorted vector"))
+                        })
+                        .map(|keys| SortReport {
                             shape: self.shape,
                             factor_name: self.factor_name.clone(),
-                            keys: sorted.next().expect("one sorted vector per Ok slot"),
+                            keys,
                             outcome,
                         })
                     })

@@ -991,8 +991,12 @@ impl BspMachine {
                     );
                     let mut passed: u64 = 0;
                     for l in Lanes(active) {
-                        let ok = match seg.check {
-                            None => true,
+                        // The check yields the failing certificate
+                        // directly, so the failure arm cannot run
+                        // without one — no panic path (mirrors the
+                        // serial loop's structure exactly).
+                        let failed_check = match seg.check {
+                            None => None,
                             Some((boundary, dims, is_final)) => {
                                 lane_buf.clear();
                                 for node in 0..n {
@@ -1000,7 +1004,7 @@ impl BspMachine {
                                 }
                                 // The final certificate is always checked
                                 // in full, matching the serial loop.
-                                if !is_final && policy.recheck_depth > 0 {
+                                let ok = if !is_final && policy.recheck_depth > 0 {
                                     sampled_subgraph_certificate(
                                         shape,
                                         &lane_buf,
@@ -1010,15 +1014,11 @@ impl BspMachine {
                                     )
                                 } else {
                                     subgraphs_snake_sorted(shape, &lane_buf, dims as usize)
-                                }
+                                };
+                                (!ok).then_some((boundary, dims, is_final))
                             }
                         };
-                        if ok {
-                            passed |= 1 << l;
-                            reports[l].counters.useful_rounds += seg_rounds;
-                        } else {
-                            let (boundary, dims, is_final) =
-                                seg.check.expect("a failed check has a certificate");
+                        if let Some((boundary, dims, is_final)) = failed_check {
                             reports[l].detections.push(Detection {
                                 round: boundary,
                                 dims,
@@ -1026,6 +1026,9 @@ impl BspMachine {
                             });
                             reports[l].counters.detections += 1;
                             reports[l].counters.wasted_rounds += seg_rounds;
+                        } else {
+                            passed |= 1 << l;
+                            reports[l].counters.useful_rounds += seg_rounds;
                         }
                     }
                     active &= !passed;
@@ -1042,6 +1045,14 @@ impl BspMachine {
                         break;
                     }
                     attempt += 1;
+                    // Backoff before the lockstep re-execution (zero —
+                    // no syscall — unless the policy enables it). One
+                    // sleep covers the whole retrying block, matching
+                    // the serial path's per-attempt schedule.
+                    let delay_ns = policy.backoff_ns(attempt);
+                    if delay_ns > 0 {
+                        std::thread::sleep(std::time::Duration::from_nanos(delay_ns));
+                    }
                     for node in 0..n {
                         for l in Lanes(active) {
                             scratch.cols[node * w + l] = checkpoint[node * w + l].clone();
@@ -1078,7 +1089,7 @@ impl BspMachine {
         }
         let results: Vec<Result<FaultReport, FaultError>> = results
             .into_iter()
-            .map(|r| r.expect("every lane ran"))
+            .map(|r| r.unwrap_or(Err(FaultError::Internal("batch lane produced no outcome"))))
             .collect();
         for (lane, res) in results.iter().enumerate() {
             if let Ok(report) = res {

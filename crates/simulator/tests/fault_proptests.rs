@@ -178,7 +178,7 @@ proptest! {
             .map(|i| keys_for(len, seed ^ (i * 7919), 1000))
             .collect();
         let plan = FaultPlan::random(plan_seed, rate);
-        let policy = RetryPolicy { max_retries, recheck_depth };
+        let policy = RetryPolicy { max_retries, recheck_depth, ..RetryPolicy::default() };
         let mut a = batch.clone();
         let ra = machine.run_batch_with_faults(&mut a, &program, &plan, &policy);
         let mut b = batch;

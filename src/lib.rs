@@ -26,6 +26,10 @@
 //! * [`baselines`] — Batcher odd-even merge and bitonic networks,
 //!   Columnsort, shearsort, odd-even transposition, Stone's
 //!   shuffle-exchange bitonic sort.
+//! * [`service`] — the sorting-as-a-service core (DESIGN.md §14):
+//!   bounded intake with typed rejections, per-tenant token buckets, a
+//!   deadline-driven coalescer, a deterministic circuit breaker, and
+//!   the vertical → kernel → retry → quarantine degradation ladder.
 //!
 //! ## Quickstart
 //!
@@ -48,4 +52,5 @@ pub use pns_graph as graph;
 pub use pns_obs as obs;
 pub use pns_order as order;
 pub use pns_product as product;
+pub use pns_service as service;
 pub use pns_simulator as sim;
