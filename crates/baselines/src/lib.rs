@@ -18,6 +18,8 @@
 //!   network).
 //! * [`mesh`] — mesh baselines: odd-even transposition sort on the linear
 //!   array and shearsort on the 2-D mesh (snake order).
+//! * [`radix`] — a reusable LSB radix sorter (the `timely_sort` idiom):
+//!   the sequence-level baseline the network tiers are measured against.
 
 pub mod batcher;
 pub mod bitonic;
@@ -25,6 +27,7 @@ pub mod columnsort;
 pub mod debruijn;
 pub mod mesh;
 pub mod network;
+pub mod radix;
 pub mod stone;
 
 pub use batcher::{odd_even_merge_network, odd_even_merge_sort_network};
@@ -33,4 +36,5 @@ pub use columnsort::{columnsort, ColumnsortCost};
 pub use debruijn::{de_bruijn_sort, DeBruijnSortCost};
 pub use mesh::{oet_sort_rounds, shearsort_mesh, shearsort_steps};
 pub use network::ComparatorNetwork;
+pub use radix::{radix_sort_u64, LsbRadixSorter};
 pub use stone::{stone_sort, StoneCost};

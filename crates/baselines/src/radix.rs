@@ -1,0 +1,165 @@
+//! Least-significant-byte radix sort, in the `timely_sort` idiom: a
+//! reusable sorter object that owns its 256 buckets, sorting batches
+//! through a key-extraction closure so one sorter instance serves many
+//! record types and many calls without reallocating.
+//!
+//! This is the *sequence-level* baseline for the experiment tables: no
+//! comparator network, no topology, just the fastest reasonable
+//! single-thread integer sort — the number the compiled network tiers
+//! are measured against on equal batches.
+
+/// Radix base: one byte per pass.
+const BUCKETS: usize = 256;
+
+/// A reusable LSB radix sorter. Buckets keep their capacity between
+/// calls, so steady-state sorting of same-sized batches allocates
+/// nothing new.
+#[derive(Debug)]
+pub struct LsbRadixSorter<T> {
+    buckets: Vec<Vec<T>>,
+}
+
+impl<T> Default for LsbRadixSorter<T> {
+    fn default() -> Self {
+        LsbRadixSorter::new()
+    }
+}
+
+impl<T> LsbRadixSorter<T> {
+    /// A sorter with empty buckets.
+    #[must_use]
+    pub fn new() -> Self {
+        LsbRadixSorter {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Sort `items` in place, ascending by `key(item)`. Stable: equal
+    /// keys keep their input order (each pass distributes and collects
+    /// in order — the classic LSB argument).
+    ///
+    /// Passes whose key byte is constant across the batch are skipped,
+    /// so narrow keys (e.g. all below 2⁸) cost one distribution pass,
+    /// not eight.
+    pub fn sort_by_key<F: Fn(&T) -> u64>(&mut self, items: &mut Vec<T>, key: F) {
+        if items.len() < 2 {
+            return;
+        }
+        // One scan decides which of the 8 byte positions vary.
+        let first = key(&items[0]);
+        let mut varying = 0u8;
+        for item in items.iter() {
+            let diff = key(item) ^ first;
+            for byte in 0..8 {
+                if (diff >> (8 * byte)) & 0xFF != 0 {
+                    varying |= 1 << byte;
+                }
+            }
+        }
+        for byte in 0..8 {
+            if varying & (1 << byte) == 0 {
+                continue;
+            }
+            let shift = 8 * byte;
+            for item in items.drain(..) {
+                let b = ((key(&item) >> shift) & 0xFF) as usize;
+                self.buckets[b].push(item);
+            }
+            for bucket in &mut self.buckets {
+                items.append(bucket); // leaves the bucket empty, capacity kept
+            }
+        }
+    }
+}
+
+impl LsbRadixSorter<u64> {
+    /// Sort plain `u64` keys in place, ascending.
+    pub fn sort_u64(&mut self, keys: &mut Vec<u64>) {
+        self.sort_by_key(keys, |&k| k);
+    }
+}
+
+/// One-shot convenience: sort `keys` ascending with a fresh
+/// [`LsbRadixSorter`].
+pub fn radix_sort_u64(keys: &mut Vec<u64>) {
+    LsbRadixSorter::new().sort_u64(keys);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_std_sort_on_random_keys() {
+        let mut sorter = LsbRadixSorter::new();
+        for (seed, len) in [(1u64, 0usize), (2, 1), (3, 2), (4, 100), (5, 1000)] {
+            let mut keys = lcg(seed, len);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            sorter.sort_u64(&mut keys);
+            assert_eq!(keys, expect, "seed={seed} len={len}");
+        }
+    }
+
+    #[test]
+    fn narrow_keys_and_extremes_sort() {
+        let mut sorter = LsbRadixSorter::new();
+        let mut keys: Vec<u64> = (0..200u64).rev().map(|x| x % 7).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        sorter.sort_u64(&mut keys);
+        assert_eq!(keys, expect);
+
+        let mut keys = vec![u64::MAX, 0, u64::MAX - 1, 1, u64::MAX, 0];
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        sorter.sort_u64(&mut keys);
+        assert_eq!(keys, expect);
+
+        let mut same = vec![42u64; 64];
+        sorter.sort_u64(&mut same);
+        assert_eq!(same, vec![42u64; 64], "constant batch: every pass skips");
+    }
+
+    #[test]
+    fn sorts_records_by_key_stably() {
+        // (key, sequence) pairs: equal keys must keep input order.
+        let mut records: Vec<(u64, usize)> = lcg(9, 500)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k % 16, i))
+            .collect();
+        let mut expect = records.clone();
+        expect.sort_by_key(|&(k, i)| (k, i)); // stable order == (key, seq)
+        let mut sorter = LsbRadixSorter::new();
+        sorter.sort_by_key(&mut records, |&(k, _)| k);
+        assert_eq!(records, expect);
+    }
+
+    #[test]
+    fn sorter_is_reusable_across_batches_and_types_of_batch() {
+        let mut sorter = LsbRadixSorter::new();
+        for seed in 0..10u64 {
+            let mut keys = lcg(seed, 256);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            sorter.sort_u64(&mut keys);
+            assert_eq!(keys, expect, "seed={seed}");
+        }
+        let mut keys = lcg(77, 10_000);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        radix_sort_u64(&mut keys);
+        assert_eq!(keys, expect);
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment binary: prints the e24_s2_sorters report and writes the
+//! measured rows to `BENCH_e24_s2.json` (nightly CI uploads it as an
+//! artifact so per-sorter tier timings are tracked over time).
+//!
+//! Beyond the library's deterministic claims, this binary asserts the
+//! release-mode acceptance bar: on at least one dense fixture a new
+//! sorter (multiway n-sorter or periodic merge) must beat the OET
+//! snake on measured kernel- or vertical-tier wall-time, not just on
+//! round counts.
+
+fn main() {
+    let rows = pns_bench::experiments::e24_s2_sorters::collect();
+    let report = pns_bench::experiments::e24_s2_sorters::report_from_rows(&rows);
+    println!("{}", report.to_markdown());
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write("BENCH_e24_s2.json", json).expect("write BENCH_e24_s2.json");
+    eprintln!("wrote BENCH_e24_s2.json ({} rows)", rows.len());
+    assert!(report.all_match, "experiment reported a mismatch");
+
+    // Release-mode wall-time bar: fewer compiled rounds must cash out
+    // as a measured win on a dense fixture for at least one new sorter.
+    let wall_win = rows.iter().any(|row| {
+        if !(row.sorter == "multiway-nsorter" || row.sorter == "periodic-merge") {
+            return false;
+        }
+        rows.iter().any(|oet| {
+            oet.factor == row.factor
+                && oet.r == row.r
+                && oet.sorter == "oet-snake"
+                && (row.factor == "K4" || row.factor == "K8")
+                && (row.kernel_ms < oet.kernel_ms || row.vertical_ms < oet.vertical_ms)
+        })
+    });
+    assert!(
+        wall_win,
+        "no new sorter beat oet-snake on kernel or vertical wall-time"
+    );
+    eprintln!("wall-time win over oet-snake confirmed on a dense fixture");
+}

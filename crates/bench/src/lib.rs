@@ -36,6 +36,7 @@ pub mod experiments {
     pub mod e20_vertical_speedup;
     pub mod e21_profile;
     pub mod e22_service;
+    pub mod e24_s2_sorters;
 }
 
 pub use report::Report;
@@ -70,6 +71,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e20_vertical_speedup", e20_vertical_speedup::run),
         ("e21_profile", e21_profile::run),
         ("e22_service", e22_service::run),
+        ("e24_s2_sorters", e24_s2_sorters::run),
         ("a01_labeling", a01_labeling::run),
         ("a02_pg2_sorter", a02_pg2_sorter::run),
         ("a03_sorting_network", a03_sorting_network::run),

@@ -125,6 +125,112 @@ impl BaseNetwork for OetBase {
     }
 }
 
+/// Batcher's odd-even merge sort (Knuth 5.3.4 algorithm M, iterative
+/// form). Works for arbitrary `len` — the bound checks are exactly the
+/// power-of-two network pruned of comparators that would touch the `+∞`
+/// padding lines, so the classic correctness argument carries over.
+/// Depth `⌈lg len⌉(⌈lg len⌉+1)/2` for powers of two, size `O(len lg² len)`
+/// — much shallower than [`OetBase`]'s `len` rounds once `len ≥ 4`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatcherBase;
+
+impl BaseNetwork for BatcherBase {
+    fn rounds(&self, len: usize) -> Vec<Vec<(u32, u32)>> {
+        let mut rounds = Vec::new();
+        if len < 2 {
+            return rounds;
+        }
+        let mut p = 1usize;
+        while p < len {
+            let mut k = p;
+            while k >= 1 {
+                let mut round = Vec::new();
+                let mut j = k % p;
+                while j + k < len {
+                    for i in 0..k.min(len - j - k) {
+                        // Only merge lines within the same 2p-block.
+                        if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                            round.push(((i + j) as u32, (i + j + k) as u32));
+                        }
+                    }
+                    j += 2 * k;
+                }
+                if !round.is_empty() {
+                    rounds.push(round);
+                }
+                k /= 2;
+            }
+            p *= 2;
+        }
+        rounds
+    }
+}
+
+/// The Dowd–Perl–Rudolph–Saks *periodic balanced* sorting network: one
+/// fixed block of `⌈lg len⌉` mirrored-pair levels, replayed `⌈lg len⌉`
+/// (+ `extra_blocks`) times. Every application runs the *same* wiring, so
+/// the program is constant-periodic — the property Piotrów's periodic
+/// merging networks are built around, and an ideal compile target (one
+/// small block lowered once, replayed).
+///
+/// Arbitrary `len` is handled by pruning the next-power-of-two block of
+/// comparators that touch the `+∞` padding lines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeriodicBalancedBase {
+    /// Extra (harmless) block replays beyond the `⌈lg len⌉` required for
+    /// sorting; a sorted sequence is a fixed point of the block, so any
+    /// `extra_blocks` still sorts. Exists to make the construction a
+    /// genuinely *parameterized* family.
+    pub extra_blocks: usize,
+}
+
+impl PeriodicBalancedBase {
+    /// One period: `⌈lg len⌉` levels; level `ℓ` splits the (padded) lines
+    /// into chunks of `2^(k-ℓ+1)` and compares mirrored pairs
+    /// `(x, chunk-1-x)` within each chunk.
+    #[must_use]
+    pub fn block(len: usize) -> Vec<Vec<(u32, u32)>> {
+        let mut block = Vec::new();
+        if len < 2 {
+            return block;
+        }
+        let k = usize::BITS - (len - 1).leading_zeros(); // ⌈lg len⌉
+        let padded = 1usize << k;
+        let mut chunk = padded;
+        while chunk >= 2 {
+            let mut level = Vec::new();
+            for start in (0..padded).step_by(chunk) {
+                for x in 0..chunk / 2 {
+                    let (a, b) = (start + x, start + chunk - 1 - x);
+                    if b < len {
+                        level.push((a as u32, b as u32));
+                    }
+                }
+            }
+            if !level.is_empty() {
+                block.push(level);
+            }
+            chunk /= 2;
+        }
+        block
+    }
+}
+
+impl BaseNetwork for PeriodicBalancedBase {
+    fn rounds(&self, len: usize) -> Vec<Vec<(u32, u32)>> {
+        if len < 2 {
+            return Vec::new();
+        }
+        let k = (usize::BITS - (len - 1).leading_zeros()) as usize;
+        let block = Self::block(len);
+        let mut rounds = Vec::new();
+        for _ in 0..k.max(1) + self.extra_blocks {
+            rounds.extend(block.iter().cloned());
+        }
+        rounds
+    }
+}
+
 /// Zip two parallel sub-networks' rounds (disjoint lines) into shared
 /// rounds.
 fn zip_rounds(mut acc: Vec<Vec<(u32, u32)>>, other: Vec<Vec<(u32, u32)>>) -> Vec<Vec<(u32, u32)>> {
@@ -320,6 +426,79 @@ mod tests {
             let prog = SortingProgram::new(len, OetBase.rounds(len));
             assert!(prog.is_sorting_network(), "len={len}");
         }
+    }
+
+    #[test]
+    fn batcher_base_is_a_sorting_network_for_arbitrary_len() {
+        for len in 2..=12 {
+            let prog = SortingProgram::new(len, BatcherBase.rounds(len));
+            assert!(prog.is_sorting_network(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn batcher_base_has_known_pow2_depth_and_beats_oet() {
+        // Depth k(k+1)/2 for len = 2^k.
+        for (len, depth) in [(2usize, 1usize), (4, 3), (8, 6), (16, 10)] {
+            assert_eq!(BatcherBase.rounds(len).len(), depth, "len={len}");
+        }
+        for len in [4usize, 8, 16, 32] {
+            assert!(BatcherBase.rounds(len).len() < OetBase.rounds(len).len());
+        }
+    }
+
+    #[test]
+    fn periodic_balanced_base_is_a_sorting_network_for_arbitrary_len() {
+        for len in 2..=12 {
+            let base = PeriodicBalancedBase::default();
+            let prog = SortingProgram::new(len, base.rounds(len));
+            assert!(prog.is_sorting_network(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn periodic_balanced_base_is_constant_periodic() {
+        // The program is the same block replayed ⌈lg len⌉ + extra times.
+        for len in [5usize, 8, 13, 16] {
+            let k = (usize::BITS - (len - 1).leading_zeros()) as usize;
+            let block = PeriodicBalancedBase::block(len);
+            for extra in [0usize, 2] {
+                let rounds = PeriodicBalancedBase {
+                    extra_blocks: extra,
+                }
+                .rounds(len);
+                assert_eq!(rounds.len(), block.len() * (k + extra), "len={len}");
+                for (i, round) in rounds.iter().enumerate() {
+                    assert_eq!(round, &block[i % block.len()], "len={len} round {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_balanced_extra_blocks_still_sorts() {
+        let base = PeriodicBalancedBase { extra_blocks: 1 };
+        for len in 2..=10 {
+            let prog = SortingProgram::new(len, base.rounds(len));
+            assert!(prog.is_sorting_network(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn merge_networks_with_new_bases_sort_exhaustively() {
+        for (n, r) in [(2usize, 3usize), (3, 2), (4, 2)] {
+            for base in [
+                &BatcherBase as &dyn BaseNetwork,
+                &PeriodicBalancedBase::default(),
+            ] {
+                let prog = multiway_merge_sort_program(n, r, base);
+                assert!(prog.is_sorting_network(), "n={n} r={r}");
+            }
+        }
+        // Batcher base yields a strictly shallower 16-line network than OET.
+        let oet = multiway_merge_sort_program(4, 2, &OetBase);
+        let bat = multiway_merge_sort_program(4, 2, &BatcherBase);
+        assert!(bat.depth() < oet.depth());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use pns_graph::Graph;
 use pns_obs::Registry;
 use pns_simulator::bsp::{compile, BspMachine, CompiledProgram};
 use pns_simulator::kernel::{ExecScratch, KernelProgram, ScratchPool};
-use pns_simulator::sorters::OetSnakeSorter;
+use pns_simulator::select::SorterChoice;
 use pns_simulator::vertical::{VerticalPool, VerticalProgram, VERTICAL_MIN_LANES};
 use pns_simulator::FaultError;
 use std::collections::HashMap;
@@ -103,6 +103,8 @@ pub trait Transport: Send + Sync {
 struct RegisteredShape {
     factor: Graph,
     r: usize,
+    /// Display name of the `PG_2` sorter this shape compiled under.
+    sorter: &'static str,
     kernel: Arc<KernelProgram>,
     vertical: Arc<VerticalProgram>,
 }
@@ -112,6 +114,7 @@ pub struct ServiceBuilder {
     config: ServiceConfig,
     clock: Arc<dyn Clock>,
     plan: FaultPlan,
+    sorter: SorterChoice,
     shapes: Vec<RegisteredShape>,
 }
 
@@ -123,6 +126,7 @@ impl ServiceBuilder {
             config,
             clock: Arc::new(SystemClock::new()),
             plan: FaultPlan::disabled(),
+            sorter: SorterChoice::Auto,
             shapes: Vec::new(),
         }
     }
@@ -142,6 +146,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Pick the `PG_2` base sorter for shapes registered **after** this
+    /// call. The default, [`SorterChoice::Auto`], scores every candidate
+    /// per shape with routing-aware executed steps and compiles the
+    /// winner — dense factors get the shallow multiway n-sorter, sparse
+    /// ones keep adjacent-comparator schedules.
+    #[must_use]
+    pub fn sorter(mut self, choice: SorterChoice) -> Self {
+        self.sorter = choice;
+        self
+    }
+
     /// Register the product network `factor^r` and compile its tiered
     /// programs once; requests reference the returned shape id.
     ///
@@ -157,19 +172,22 @@ impl ServiceBuilder {
         }
         // Compilation is infallible for connected factors; the
         // catch_unwind is the configuration-time never-panic backstop.
+        let choice = self.sorter;
         let artifacts = catch_unwind(AssertUnwindSafe(|| {
-            let program: CompiledProgram = compile(factor, r, &OetSnakeSorter);
+            let sorter = choice.resolve(factor);
+            let program: CompiledProgram = compile(factor, r, sorter);
             let machine = BspMachine::new(factor, r);
             let kernel = Arc::new(machine.lower(&program)?);
             let vertical = Arc::new(VerticalProgram::lower(Arc::clone(&kernel)));
-            Ok::<_, pns_simulator::bsp::ProgramError>((kernel, vertical))
+            Ok::<_, pns_simulator::bsp::ProgramError>((sorter.name(), kernel, vertical))
         }))
         .map_err(|_| ServiceError::Internal("shape compilation panicked"))?;
-        let (kernel, vertical) =
+        let (sorter, kernel, vertical) =
             artifacts.map_err(|_| ServiceError::Internal("shape failed to lower"))?;
         self.shapes.push(RegisteredShape {
             factor: factor.clone(),
             r,
+            sorter,
             kernel,
             vertical,
         });
@@ -251,6 +269,14 @@ impl SortService {
     #[must_use]
     pub fn builder(config: ServiceConfig) -> ServiceBuilder {
         ServiceBuilder::new(config)
+    }
+
+    /// The display name of the `PG_2` sorter shape `shape` compiled
+    /// under (auto-selection makes this per-shape; useful for
+    /// dashboards and tests).
+    #[must_use]
+    pub fn shape_sorter(&self, shape: usize) -> Option<&'static str> {
+        self.shared.shapes.get(shape).map(|s| s.sorter)
     }
 
     /// Submit a request (see [`Transport::submit`]).

@@ -74,6 +74,43 @@ fn single_request_round_trips_sorted() {
 }
 
 #[test]
+fn sorter_choice_threads_through_the_builder_per_shape() {
+    use pns_simulator::SorterChoice;
+    // Auto selection is per shape: dense K_4 compiles the multiway
+    // n-sorter, sparse path(3) keeps an adjacent-comparator schedule —
+    // and both answer correctly through the full batch path.
+    let service = SortService::builder(quick_config())
+        .register_shape(&factories::complete(4), 2)
+        .expect("K_4 is connected")
+        .register_shape(&factories::path(3), 2)
+        .expect("path(3) is connected")
+        .start();
+    assert_eq!(service.shape_sorter(0), Some("multiway-nsorter"));
+    assert_ne!(service.shape_sorter(1), Some("multiway-nsorter"));
+    assert_eq!(service.shape_sorter(2), None);
+    let k4_keys: Vec<u64> = (0..16u64).map(|x| (x * 13) % 17).collect();
+    let t0 = service.submit(0, 0, k4_keys).expect("admitted");
+    let t1 = service.submit(0, 1, keys_desc()).expect("admitted");
+    let r0 = t0.wait().expect("sorted");
+    let r1 = t1.wait().expect("sorted");
+    let machine = BspMachine::new(&factories::complete(4), 2);
+    assert!(is_snake_sorted(machine.shape(), &r0.keys));
+    assert_sorted(&r1.keys);
+    drop(service);
+
+    // A fixed choice is honored verbatim.
+    let fixed = SortService::builder(quick_config())
+        .sorter(SorterChoice::OetSnake)
+        .register_shape(&factories::complete(4), 2)
+        .expect("K_4 is connected")
+        .start();
+    assert_eq!(fixed.shape_sorter(0), Some("oet-snake"));
+    let ticket = fixed.submit(0, 0, (0..16u64).rev().collect()).expect("ok");
+    let resp = ticket.wait().expect("sorted");
+    assert!(is_snake_sorted(machine.shape(), &resp.keys));
+}
+
+#[test]
 fn wrong_key_count_and_unknown_shape_are_typed() {
     let service = build(quick_config(), FaultPlan::disabled(), None);
     match service.submit(0, 0, vec![1, 2, 3]) {

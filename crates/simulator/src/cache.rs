@@ -33,8 +33,11 @@ pub struct ProgramKey {
     pub n: usize,
     /// Product dimensions.
     pub r: usize,
-    /// `PG_2` sorter identifier ([`Pg2Sorter::name`]).
-    pub sorter: &'static str,
+    /// `PG_2` sorter identity ([`Pg2Sorter::id`]) — unlike the display
+    /// name, this distinguishes parameterized variants of one
+    /// construction, so two sorters that generate different programs can
+    /// never share an entry.
+    pub sorter: String,
     /// Normalized edge list: each edge as `(min, max)`, sorted.
     pub edges: Vec<(u32, u32)>,
     /// Whether the cached program went through
@@ -50,14 +53,14 @@ impl ProgramKey {
         ProgramKey {
             n: factor.n(),
             r,
-            sorter: sorter.name(),
+            sorter: sorter.id(),
             edges: normalized_edges(factor),
             optimized,
         }
     }
 
     /// Compact digest of this key's structural identity (FNV-1a over
-    /// node count, dimensions, sorter name, and the normalized edge
+    /// node count, dimensions, sorter identity, and the normalized edge
     /// set — `optimized` is excluded, so the digest names the topology,
     /// not the compilation mode). Display/logging only: the cache
     /// compares full keys.
@@ -81,15 +84,15 @@ impl ProgramKey {
     }
 }
 
-fn normalized_edges(factor: &Graph) -> Vec<(u32, u32)> {
+pub(crate) fn normalized_edges(factor: &Graph) -> Vec<(u32, u32)> {
     let mut edges: Vec<(u32, u32)> = factor.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
     edges.sort_unstable();
     edges.dedup();
     edges
 }
 
-/// Compact digest (FNV-1a over node count, dimensions, sorter name, and
-/// the normalized edge set) of a program's structural identity. For
+/// Compact digest (FNV-1a over node count, dimensions, sorter identity,
+/// and the normalized edge set) of a program's structural identity. For
 /// display and logging; the cache itself compares full keys, so
 /// fingerprint collisions cannot cause wrong programs to be served.
 #[must_use]
@@ -516,6 +519,55 @@ mod tests {
         let _ = cache.get_or_compile_optimized(&factor, 2, &ShearSorter); // optimized
         assert_eq!(cache.misses(), 4);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn two_sorters_over_the_same_wiring_never_cross_pollinate() {
+        // Regression: the key (and its fingerprint) must carry the
+        // sorter's identity, so the same factor compiled under two
+        // sorters yields two entries with correct per-request counters —
+        // never one entry served to both.
+        use crate::sorters::MultiwayNSorter;
+        let cache = ProgramCache::new();
+        let factor = factories::complete(4);
+        let a1 = cache.get_or_compile(&factor, 2, &OetSnakeSorter);
+        let b1 = cache.get_or_compile(&factor, 2, &MultiwayNSorter);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2), "both compile");
+        assert_eq!(cache.len(), 2);
+        assert!(!Arc::ptr_eq(&a1, &b1));
+        assert_ne!(a1.rounds(), b1.rounds(), "genuinely different programs");
+        // Repeat requests hit their own entry, not each other's.
+        let a2 = cache.get_or_compile(&factor, 2, &OetSnakeSorter);
+        let b2 = cache.get_or_compile(&factor, 2, &MultiwayNSorter);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert!(Arc::ptr_eq(&b1, &b2));
+        // The fingerprint separates them too.
+        assert_ne!(
+            fingerprint(&factor, 2, &OetSnakeSorter),
+            fingerprint(&factor, 2, &MultiwayNSorter)
+        );
+    }
+
+    #[test]
+    fn parameterized_sorter_variants_get_distinct_entries() {
+        // Two variants share a display name but differ in `id()` — the
+        // cache must treat them as different sorters.
+        use crate::sorters::{PeriodicMergeSorter, Pg2Sorter};
+        let plain = PeriodicMergeSorter::default();
+        let tuned = PeriodicMergeSorter::with_extra_blocks(1);
+        assert_eq!(plain.name(), tuned.name());
+        let cache = ProgramCache::new();
+        let factor = factories::path(3);
+        let p = cache.get_or_compile(&factor, 2, &plain);
+        let t = cache.get_or_compile(&factor, 2, &tuned);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.len(), 2);
+        assert!(t.rounds() > p.rounds(), "extra blocks add rounds");
+        assert_ne!(
+            fingerprint(&factor, 2, &plain),
+            fingerprint(&factor, 2, &tuned)
+        );
     }
 
     #[test]

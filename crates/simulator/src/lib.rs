@@ -36,6 +36,7 @@ pub mod kernel;
 pub mod machine;
 pub mod netsort;
 pub mod sample;
+pub mod select;
 pub mod sorters;
 pub mod verify;
 pub mod vertical;
@@ -56,7 +57,12 @@ pub use machine::{Machine, SortError, SortReport};
 pub use netsort::{network_sort, NetSortOutcome};
 pub use pns_fault::{FaultKind, FaultPlan, FaultSite, OpClass, RetryPolicy};
 pub use sample::{sample_sort, try_sample_sort, SampleSortOutcome};
-pub use sorters::{Hypercube2Sorter, OetSnakeSorter, Pg2Sorter, ShearSorter};
+pub use select::{
+    candidates, score_sorter, score_sorters, select_sorter, SorterChoice, SorterScore,
+};
+pub use sorters::{
+    Hypercube2Sorter, MultiwayNSorter, OetSnakeSorter, PeriodicMergeSorter, Pg2Sorter, ShearSorter,
+};
 pub use verify::{network_sort_checked, subgraphs_snake_sorted, LoggingEngine, RoundRecord};
 pub use vertical::{
     pack_zero_one_masks, pack_zero_one_masks_into, unpack_zero_one_lane, unpack_zero_one_lane_into,

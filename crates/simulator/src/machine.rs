@@ -7,6 +7,7 @@ use crate::cost::CostModel;
 use crate::engine::{ChargedEngine, ExecutedEngine};
 use crate::kernel::{ExecScratch, KernelProgram, ScratchPool};
 use crate::netsort::{is_snake_sorted, network_sort, read_snake_order, NetSortOutcome};
+use crate::select::SorterChoice;
 use crate::sorters::Pg2Sorter;
 use crate::vertical::{VerticalPool, VerticalProgram, VERTICAL_MIN_LANES};
 use pns_graph::{Graph, LinearEmbedding};
@@ -202,6 +203,40 @@ impl Machine {
         let (program, kernel, vertical) =
             cache.get_or_compile_vertical_optimized(factor, r, sorter);
         Machine::with_program(factor, r, sorter, program, kernel, vertical)
+    }
+
+    /// As [`Machine::executed`], with the sorter resolved from a
+    /// [`SorterChoice`] — [`SorterChoice::Auto`] scores every candidate
+    /// on this factor and uses the routing-aware winner.
+    #[must_use]
+    pub fn executed_with(factor: &Graph, r: usize, choice: SorterChoice) -> Self {
+        Machine::executed(factor, r, choice.resolve(factor))
+    }
+
+    /// As [`Machine::compiled`], with the sorter resolved from a
+    /// [`SorterChoice`]. The resolved sorter's identity is part of the
+    /// cache key, so machines built with different choices (or different
+    /// auto-selected winners) never share programs.
+    #[must_use]
+    pub fn compiled_with(
+        factor: &Graph,
+        r: usize,
+        choice: SorterChoice,
+        cache: &ProgramCache,
+    ) -> Self {
+        Machine::compiled(factor, r, choice.resolve(factor), cache)
+    }
+
+    /// As [`Machine::compiled_optimized`], with the sorter resolved from
+    /// a [`SorterChoice`].
+    #[must_use]
+    pub fn compiled_optimized_with(
+        factor: &Graph,
+        r: usize,
+        choice: SorterChoice,
+        cache: &ProgramCache,
+    ) -> Self {
+        Machine::compiled_optimized(factor, r, choice.resolve(factor), cache)
     }
 
     fn with_program(
@@ -632,6 +667,29 @@ mod tests {
         assert_eq!(rc.keys, re.keys, "configurations must agree");
         assert!(rc.is_snake_sorted());
         assert_eq!(rc.steps() as usize, compiled.program().unwrap().rounds());
+    }
+
+    #[test]
+    fn sorter_choice_constructors_resolve_and_never_cross_pollinate() {
+        let cache = crate::cache::ProgramCache::new();
+        let factor = Machine::prepare_factor(&factories::complete(4));
+        let mut auto = Machine::compiled_with(&factor, 2, crate::SorterChoice::Auto, &cache);
+        let mut oet = Machine::compiled_with(&factor, 2, crate::SorterChoice::OetSnake, &cache);
+        // K_4 auto-selects the multiway n-sorter: a genuinely different,
+        // shallower program under its own cache entry.
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(auto.program().unwrap().rounds() < oet.program().unwrap().rounds());
+        let keys: Vec<u64> = (0..16).map(|x| (x * 13) % 17).collect();
+        let ra = auto.sort(keys.clone()).unwrap();
+        let ro = oet.sort(keys).unwrap();
+        assert_eq!(ra.keys, ro.keys, "same sorted configuration");
+        assert!(ra.is_snake_sorted());
+        // A second auto machine reuses the winner's entry.
+        let _again = Machine::compiled_with(&factor, 2, crate::SorterChoice::Auto, &cache);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        // The executed constructor resolves the same way.
+        let exec = Machine::executed_with(&factor, 2, crate::SorterChoice::Auto);
+        assert_eq!(exec.s2_steps(), 15, "multiway rounds, all edges on K_4");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! (adjacent labels) or a routed exchange (non-adjacent labels — the
 //! Section 4 "permutation routing within G" case).
 
+use pns_core::netbuild::{BaseNetwork, BatcherBase, PeriodicBalancedBase};
 use pns_order::snake::{snake2_rank, snake2_unrank};
 use pns_order::Direction;
 
@@ -20,9 +21,24 @@ pub type Round = Vec<(u32, u32)>;
 
 /// An oblivious sorting program for the `N²` keys of a `PG_2` subgraph,
 /// sorting into forward snake order.
-pub trait Pg2Sorter {
+pub trait Pg2Sorter: Send + Sync {
     /// Display name.
     fn name(&self) -> &'static str;
+
+    /// Cache identity. Unlike [`name`](Self::name) this must distinguish
+    /// *parameterized* variants of the same construction: two sorters
+    /// whose `id` strings are equal must produce identical programs for
+    /// every `n`, because `ProgramCache` keys compiled programs on it.
+    fn id(&self) -> String {
+        self.name().to_owned()
+    }
+
+    /// Whether this sorter can produce a program for factor size `n`.
+    /// Specialized constructions (e.g. the 3-step hypercube sorter)
+    /// override this; the auto-selector only scores supported sorters.
+    fn supports(&self, n: usize) -> bool {
+        n >= 2
+    }
 
     /// The comparator program for factor size `n`.
     ///
@@ -123,6 +139,128 @@ impl Pg2Sorter for ShearSorter {
     }
 }
 
+/// Emit one *row phase*: sort every row of the `N×N` mesh with `net`'s
+/// comparator rounds over local indices. Row `j` occupies the contiguous
+/// snake ranks `[jN, (j+1)N)` and rank order already bakes in the
+/// boustrophedon, so sorting ascending-by-rank is exactly the alternating
+/// left-to-right / right-to-left row sweep shearsort needs.
+fn net_row_phase(n: usize, net: &dyn BaseNetwork, out: &mut Vec<Round>) {
+    let n32 = n as u32;
+    for local in net.rounds(n) {
+        let mut round = Round::new();
+        for row in 0..n32 {
+            let base = row * n32;
+            round.extend(local.iter().map(|&(i, j)| (base + i, base + j)));
+        }
+        out.push(round);
+    }
+}
+
+/// Emit one *column phase*: sort every column ascending in `x₂` with
+/// `net`'s rounds. `snake2_rank(n, x1, ·)` is monotone in `x₂` for fixed
+/// `x₁`, so mapping local index `t` to that rank keeps comparators
+/// ordered; both endpoints share `x₁`, so every comparator stays
+/// axis-aligned (possibly non-adjacent — the executed engine routes it).
+fn net_col_phase(n: usize, net: &dyn BaseNetwork, out: &mut Vec<Round>) {
+    for local in net.rounds(n) {
+        let mut round = Round::new();
+        for x1 in 0..n {
+            round.extend(local.iter().map(|&(i, j)| {
+                let p = snake2_rank(n, x1, i as usize) as u32;
+                let q = snake2_rank(n, x1, j as usize) as u32;
+                (p, q)
+            }));
+        }
+        out.push(round);
+    }
+}
+
+/// The shear schedule with a pluggable full-sort phase network:
+/// `⌈log₂ N⌉` iterations of (row phase, column phase) plus a final row
+/// phase. Shearsort's correctness proof only needs each phase to *sort*
+/// its rows/columns — it never looks inside the phase — so any sorting
+/// network slots in.
+fn shear_schedule(n: usize, net: &dyn BaseNetwork) -> Vec<Round> {
+    let phases = (usize::BITS - (n - 1).leading_zeros()).max(1);
+    let mut out = Vec::new();
+    for _ in 0..phases {
+        net_row_phase(n, net, &mut out);
+        net_col_phase(n, net, &mut out);
+    }
+    net_row_phase(n, net, &mut out);
+    out
+}
+
+/// The enhanced multiway n-sorter construction (Shi/Yan/Wagh,
+/// arXiv 1407.0961): compose full `N`-key sorters — here Batcher's
+/// odd-even merge networks, pruned to arbitrary `N` — as the row/column
+/// phases of the shear schedule. Depth `(2⌈lg N⌉+1)·D_B(N)` versus the
+/// OET snake's `N²`: 15 vs 16 rounds at `N=4`, 42 vs 64 at `N=8`,
+/// 90 vs 256 at `N=16`. Comparators span whole rows/columns, so on
+/// factors without all-pairs edges the engine routes them; the
+/// auto-selector weighs that cost per shape.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiwayNSorter;
+
+impl Pg2Sorter for MultiwayNSorter {
+    fn name(&self) -> &'static str {
+        "multiway-nsorter"
+    }
+
+    fn program(&self, n: usize) -> Vec<Round> {
+        shear_schedule(n, &BatcherBase)
+    }
+}
+
+/// Constant-periodic phases in the spirit of Piotrów's periodic merging
+/// networks (arXiv 1401.0396 / 1409.1749): each shear phase is the
+/// Dowd–Perl–Rudolph–Saks balanced block — one fixed `⌈lg N⌉`-level
+/// wiring — replayed `⌈lg N⌉ (+ extra)` times. The whole `PG_2` program
+/// therefore cycles through a tiny set of distinct round shapes, which is
+/// the property that makes periodic programs ideal compile targets.
+/// Depth `(2⌈lg N⌉+1)·⌈lg N⌉²(1 + extra/⌈lg N⌉)`: beats the OET snake
+/// once `N ≥ 8` (63 vs 64 rounds, 144 vs 256 at `N=16`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeriodicMergeSorter {
+    /// Extra block replays per phase beyond the `⌈lg N⌉` required —
+    /// harmless for correctness (sorted rows/columns are fixed points of
+    /// the block) but a genuinely different program, so it must get a
+    /// distinct cache [`id`](Pg2Sorter::id).
+    pub extra_blocks: usize,
+}
+
+impl PeriodicMergeSorter {
+    /// The parameterized variant with `extra` additional block replays
+    /// per phase.
+    #[must_use]
+    pub fn with_extra_blocks(extra: usize) -> Self {
+        PeriodicMergeSorter {
+            extra_blocks: extra,
+        }
+    }
+}
+
+impl Pg2Sorter for PeriodicMergeSorter {
+    fn name(&self) -> &'static str {
+        "periodic-merge"
+    }
+
+    fn id(&self) -> String {
+        if self.extra_blocks == 0 {
+            self.name().to_owned()
+        } else {
+            format!("{}+b{}", self.name(), self.extra_blocks)
+        }
+    }
+
+    fn program(&self, n: usize) -> Vec<Round> {
+        let base = PeriodicBalancedBase {
+            extra_blocks: self.extra_blocks,
+        };
+        shear_schedule(n, &base)
+    }
+}
+
 /// The 3-step snake sorter for the two-dimensional hypercube (`N = 2`,
 /// Section 5.3: "It is not hard to sort in snake order on the
 /// two-dimensional hypercube in three steps"). The 4-node `PG_2` of `K_2`
@@ -135,6 +273,10 @@ pub struct Hypercube2Sorter;
 impl Pg2Sorter for Hypercube2Sorter {
     fn name(&self) -> &'static str {
         "hypercube-3step"
+    }
+
+    fn supports(&self, n: usize) -> bool {
+        n == 2
     }
 
     fn program(&self, n: usize) -> Vec<Round> {
@@ -254,6 +396,115 @@ mod tests {
                 run_program(&mut keys, &prog, Direction::Ascending);
                 assert_eq!(keys, expect, "n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn multiway_nsorter_is_valid_and_sorts() {
+        for n in 2..=4 {
+            let p = MultiwayNSorter.program(n);
+            validate_program(n, &p);
+            assert!(program_sorts_all_zero_one(n, &p), "n={n}");
+        }
+    }
+
+    #[test]
+    fn periodic_merge_is_valid_and_sorts() {
+        for n in 2..=4 {
+            for extra in [0usize, 1] {
+                let p = PeriodicMergeSorter::with_extra_blocks(extra).program(n);
+                validate_program(n, &p);
+                assert!(program_sorts_all_zero_one(n, &p), "n={n} extra={extra}");
+            }
+        }
+    }
+
+    #[test]
+    fn new_sorters_sort_random_permutations_for_larger_n() {
+        for n in [5usize, 8, 9, 16] {
+            for sorter in [
+                &MultiwayNSorter as &dyn Pg2Sorter,
+                &PeriodicMergeSorter { extra_blocks: 0 },
+                &PeriodicMergeSorter { extra_blocks: 1 },
+            ] {
+                let prog = sorter.program(n);
+                validate_program(n, &prog);
+                let len = n * n;
+                let mut state: u64 = 0x243F6A8885A308D3;
+                for _ in 0..10 {
+                    let mut keys: Vec<u64> = (0..len as u64)
+                        .map(|i| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
+                            state >> 33
+                        })
+                        .collect();
+                    let mut expect = keys.clone();
+                    expect.sort_unstable();
+                    run_program(&mut keys, &prog, Direction::Ascending);
+                    assert_eq!(keys, expect, "n={n} sorter={}", sorter.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_nsorter_depth_beats_oet_at_practical_widths() {
+        // (2⌈lg N⌉+1)·D_B(N) versus N².
+        for (n, depth) in [(4usize, 15usize), (8, 42), (16, 90)] {
+            let p = MultiwayNSorter.program(n);
+            assert_eq!(p.len(), depth, "n={n}");
+            assert!(p.len() < OetSnakeSorter.program(n).len());
+        }
+        // Size also drops at N=4: 100 comparators vs the OET snake's 120.
+        let size = |prog: &[Round]| prog.iter().map(Vec::len).sum::<usize>();
+        assert!(size(&MultiwayNSorter.program(4)) < size(&OetSnakeSorter.program(4)));
+    }
+
+    #[test]
+    fn periodic_merge_depth_beats_oet_from_n8() {
+        for (n, depth) in [(8usize, 63usize), (16, 144)] {
+            let p = PeriodicMergeSorter::default().program(n);
+            assert_eq!(p.len(), depth, "n={n}");
+            assert!(p.len() < OetSnakeSorter.program(n).len());
+        }
+    }
+
+    #[test]
+    fn periodic_merge_phases_replay_a_fixed_block() {
+        // Constant-periodicity surfaced at the PG_2 level: the program
+        // cycles through at most 2·⌈lg N⌉ distinct round shapes (one
+        // block's worth per axis).
+        let n = 8usize;
+        let k = 3usize; // ⌈lg 8⌉
+        let prog = PeriodicMergeSorter::default().program(n);
+        let mut distinct: Vec<&Round> = Vec::new();
+        for round in &prog {
+            if !distinct.contains(&round) {
+                distinct.push(round);
+            }
+        }
+        assert_eq!(distinct.len(), 2 * k);
+    }
+
+    #[test]
+    fn sorter_ids_distinguish_parameterized_variants() {
+        assert_eq!(MultiwayNSorter.id(), "multiway-nsorter");
+        assert_eq!(PeriodicMergeSorter::default().id(), "periodic-merge");
+        let tuned = PeriodicMergeSorter::with_extra_blocks(2);
+        assert_eq!(tuned.name(), "periodic-merge");
+        assert_eq!(tuned.id(), "periodic-merge+b2");
+        assert_ne!(tuned.id(), PeriodicMergeSorter::default().id());
+    }
+
+    #[test]
+    fn supports_gates_specialized_sorters() {
+        assert!(Hypercube2Sorter.supports(2));
+        assert!(!Hypercube2Sorter.supports(3));
+        for n in 2..=16 {
+            assert!(MultiwayNSorter.supports(n));
+            assert!(PeriodicMergeSorter::default().supports(n));
+            assert!(OetSnakeSorter.supports(n));
+            assert!(ShearSorter.supports(n));
         }
     }
 

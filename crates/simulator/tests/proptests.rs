@@ -3,10 +3,13 @@
 
 use pns_graph::factories;
 use pns_order::radix::Shape;
+use pns_order::Direction;
 use pns_simulator::netsort::{is_snake_sorted, network_sort, read_snake_order};
+use pns_simulator::sorters::{run_program, validate_program};
 use pns_simulator::{
     block_sort, compile, sample_sort, BspMachine, ChargedEngine, CostModel, ExecScratch,
-    ExecutedEngine, Machine, OetSnakeSorter, ScratchPool, ShearSorter,
+    ExecutedEngine, Machine, MultiwayNSorter, OetSnakeSorter, PeriodicMergeSorter, Pg2Sorter,
+    ScratchPool, ShearSorter, SorterChoice,
 };
 use proptest::prelude::*;
 
@@ -56,6 +59,47 @@ proptest! {
         let mut engine = ExecutedEngine::new(&factor, shape, &OetSnakeSorter);
         let _ = network_sort(shape, &mut keys, &mut engine);
         prop_assert_eq!(read_snake_order(shape, &keys), expect);
+    }
+
+    #[test]
+    fn new_sorter_programs_sort_above_the_exhaustive_range(
+        n in 5usize..17, seed in any::<u64>(), modulus in 1u64..1000,
+        which in 0usize..3,
+    ) {
+        // Widths 25..=256 — past any zero-one sweep; random keys with
+        // heavy duplication (small moduli) stress the merge structure.
+        let sorter: &dyn Pg2Sorter = match which {
+            0 => &MultiwayNSorter,
+            1 => &PeriodicMergeSorter { extra_blocks: 0 },
+            _ => &PeriodicMergeSorter { extra_blocks: 1 },
+        };
+        let prog = sorter.program(n);
+        validate_program(n, &prog);
+        let mut keys = keys_for((n * n) as u64, seed, modulus);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        run_program(&mut keys, &prog, Direction::Ascending);
+        prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn auto_selected_machines_sort_random_factors(
+        n in 3usize..6, extra in 0usize..4, seed in any::<u64>(), modulus in 1u64..100,
+    ) {
+        // Whatever the selector picks on a random wiring must sort, and
+        // its executed step count can never exceed the OET snake's (the
+        // snake is always a candidate).
+        let factor = Machine::prepare_factor(&factories::random_connected(n, extra, seed));
+        let shape = Shape::new(n, 2);
+        let mut auto = Machine::executed_with(&factor, 2, SorterChoice::Auto);
+        let oet = Machine::executed(&factor, 2, &OetSnakeSorter);
+        prop_assert!(auto.s2_steps() <= oet.s2_steps());
+        let mut keys = keys_for(shape.len(), seed ^ 0xBEEF, modulus);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let report = auto.sort(keys.split_off(0)).unwrap();
+        prop_assert!(report.is_snake_sorted());
+        prop_assert_eq!(report.into_sorted_vec(), expect);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! layer's interpreter and kernel paths with identical fault plans and
 //! requires identical reports and final keys.
 
+use product_sort::baselines::LsbRadixSorter;
 use product_sort::graph::factories;
 use product_sort::graph::Graph;
 use product_sort::obs::{Event, EventLogger, MemorySink, TimedEvent};
@@ -29,7 +30,8 @@ use product_sort::sim::bsp::{compile, BspMachine};
 use product_sort::sim::netsort::{is_snake_sorted, network_sort, read_snake_order};
 use product_sort::sim::{
     ChargedEngine, CostModel, ExecScratch, ExecutedEngine, FaultPlan, Hypercube2Sorter, Machine,
-    OetSnakeSorter, Pg2Sorter, RetryPolicy, ScratchPool, ShearSorter, VerticalPool,
+    MultiwayNSorter, OetSnakeSorter, PeriodicMergeSorter, Pg2Sorter, RetryPolicy, ScratchPool,
+    ShearSorter, SorterChoice, VerticalPool,
 };
 
 fn lcg_keys(len: u64, seed: u64) -> Vec<u64> {
@@ -76,9 +78,16 @@ fn differential_case(factor: &Graph, r: usize, sorter: &dyn Pg2Sorter) {
     // One scratch for every kernel run in the case: reuse across inputs
     // and programs is exactly the steady state the kernel tier promises.
     let mut scratch = ExecScratch::new();
+    let mut radix = LsbRadixSorter::new();
     for (label, input) in &bank {
         let mut oracle = input.clone();
         oracle.sort_unstable();
+
+        // Sequence-level baseline: the LSB radix sorter must agree with
+        // the std oracle on every input the networks see.
+        let mut radixed = input.clone();
+        radix.sort_u64(&mut radixed);
+        assert_eq!(radixed, oracle, "{ctx} {label}: radix vs std oracle");
 
         // Reference: serial BSP execution.
         let mut serial = input.clone();
@@ -186,6 +195,36 @@ fn differential_hypercubes() {
 }
 
 #[test]
+fn differential_multiway_nsorter() {
+    // Dense factors: every long row/column comparator is an edge.
+    differential_case(&factories::complete(4), 2, &MultiwayNSorter);
+    differential_case(&factories::complete(4), 3, &MultiwayNSorter);
+    // Sparse factor: the same program forced through relay routing.
+    differential_case(&factories::path(4), 2, &MultiwayNSorter);
+}
+
+#[test]
+fn differential_periodic_merge() {
+    differential_case(&factories::complete(4), 2, &PeriodicMergeSorter::default());
+    differential_case(&factories::cycle(4), 2, &PeriodicMergeSorter::default());
+    // The parameterized variant is a different program; it must agree too.
+    differential_case(
+        &factories::complete(4),
+        2,
+        &PeriodicMergeSorter::with_extra_blocks(1),
+    );
+}
+
+#[test]
+fn differential_auto_selected_sorters() {
+    // Whatever the selector picks per shape must survive the full matrix.
+    for factor in [factories::complete(4), factories::path(4), factories::k2()] {
+        let factor = Machine::prepare_factor(&factor);
+        differential_case(&factor, 2, SorterChoice::Auto.resolve(&factor));
+    }
+}
+
+#[test]
 fn differential_petersen_square() {
     let factor = Machine::prepare_factor(&factories::petersen());
     differential_case(&factor, 2, &ShearSorter);
@@ -214,10 +253,16 @@ fn differential_star_relays() {
 /// keyed by `(round, op)`, which lowering preserves 1:1.
 #[test]
 fn differential_fault_paths() {
-    let cases: [(&Graph, usize, &dyn Pg2Sorter); 3] = [
+    let cases: [(&Graph, usize, &dyn Pg2Sorter); 5] = [
         (&factories::path(3), 3, &ShearSorter),
         (&factories::k2(), 4, &Hypercube2Sorter),
         (&factories::star(4), 2, &OetSnakeSorter),
+        (&factories::complete(4), 2, &MultiwayNSorter),
+        (
+            &factories::complete(4),
+            2,
+            &PeriodicMergeSorter { extra_blocks: 0 },
+        ),
     ];
     for (factor, r, sorter) in cases {
         let shape = Shape::new(factor.n(), r);
@@ -284,10 +329,16 @@ fn fault_event_stream(events: &[TimedEvent]) -> Vec<Event> {
 /// event sequences must all be identical, malformed lanes included.
 #[test]
 fn differential_vertical_fault_paths() {
-    let cases: [(&Graph, usize, &dyn Pg2Sorter); 3] = [
+    let cases: [(&Graph, usize, &dyn Pg2Sorter); 5] = [
         (&factories::path(3), 3, &ShearSorter),
         (&factories::k2(), 4, &Hypercube2Sorter),
         (&factories::star(4), 2, &OetSnakeSorter),
+        (&factories::complete(4), 2, &MultiwayNSorter),
+        (
+            &factories::path(4),
+            2,
+            &PeriodicMergeSorter { extra_blocks: 0 },
+        ),
     ];
     let mut injections = 0usize;
     for (factor, r, sorter) in cases {
